@@ -1,0 +1,50 @@
+// Ablation: value of the pair equations (paper Eq. 10). Compares
+// singles-only against singles+pairs on the Fig 3(c) scenario, reporting
+// system rank and accuracy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tomo;
+  Flags flags("ablation_equations",
+              "equation-source ablation (singles vs singles+pairs)");
+  bench::add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  const bench::Settings s = bench::settings_from_flags(flags);
+
+  Table table({"equations", "rank_fraction", "n1", "n2",
+               "correlation_mean_err", "correlation_p90_err"});
+  std::cout << "# Ablation — single-path equations only vs + pair "
+               "equations (10% congested, high correlation, Brite)\n";
+  for (const bool use_pairs : {false, true}) {
+    double mean_sum = 0.0, p90_sum = 0.0, rank_sum = 0.0;
+    double n1_sum = 0.0, n2_sum = 0.0;
+    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+      core::ScenarioConfig scenario;
+      scenario.topology = core::TopologyKind::kBrite;
+      bench::apply_scale(scenario, s);
+      scenario.congested_fraction = 0.10;
+      scenario.seed = mix_seed(s.seed, 0xab20 + trial);
+      const auto inst = core::build_scenario(scenario);
+      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      config.inference.equations.use_pairs = use_pairs;
+      const auto result = core::run_experiment(inst, config);
+      mean_sum += mean(result.correlation_errors());
+      p90_sum += percentile(result.correlation_errors(), 90.0);
+      rank_sum += static_cast<double>(result.correlation.system.rank) /
+                  static_cast<double>(result.correlation.system.link_count);
+      n1_sum += static_cast<double>(result.correlation.system.n1);
+      n2_sum += static_cast<double>(result.correlation.system.n2);
+    }
+    table.add_row({use_pairs ? "singles+pairs" : "singles-only",
+                   Table::fmt(rank_sum / s.trials, 3),
+                   Table::fmt(n1_sum / s.trials, 1),
+                   Table::fmt(n2_sum / s.trials, 1),
+                   Table::fmt(mean_sum / s.trials),
+                   Table::fmt(p90_sum / s.trials)});
+  }
+  bench::emit(table, s);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: how much does the choice of solver for the log-domain system
+// matter? Runs the Fig 3(c) scenario with each of the four solvers.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/independence_algorithm.hpp"
+#include "sim/measurement.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tomo;
+  Flags flags("ablation_solver",
+              "solver ablation on the Fig 3(c) scenario");
+  bench::add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  const bench::Settings s = bench::settings_from_flags(flags);
+
+  Table table({"solver", "correlation_mean_err", "correlation_p90_err",
+               "solve_seconds"});
+  std::cout << "# Ablation — solver choice (10% congested, high "
+               "correlation, Brite)\n";
+  for (const auto solver :
+       {linalg::SolverKind::kNnls, linalg::SolverKind::kLeastSquares,
+        linalg::SolverKind::kL1Lp, linalg::SolverKind::kIrls}) {
+    double mean_sum = 0.0, p90_sum = 0.0, seconds = 0.0;
+    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+      core::ScenarioConfig scenario;
+      scenario.topology = core::TopologyKind::kBrite;
+      bench::apply_scale(scenario, s);
+      scenario.congested_fraction = 0.10;
+      scenario.seed = mix_seed(s.seed, 0xab10 + trial);
+      const auto inst = core::build_scenario(scenario);
+      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      config.inference.solver = solver;
+      Stopwatch sw;
+      const auto result = core::run_experiment(inst, config);
+      seconds += sw.seconds();
+      mean_sum += mean(result.correlation_errors());
+      p90_sum += percentile(result.correlation_errors(), 90.0);
+    }
+    table.add_row({linalg::to_string(solver),
+                   Table::fmt(mean_sum / s.trials),
+                   Table::fmt(p90_sum / s.trials),
+                   Table::fmt(seconds / s.trials, 3)});
+  }
+  bench::emit(table, s);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: variance-weighted equations. Weighting each equation by the
+// inverse standard deviation of its estimate (delta method) should help
+// most when estimates are thin (few snapshots) and be neutral otherwise.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tomo;
+  Flags flags("ablation_weighting",
+              "variance-weighted vs unweighted equation solving");
+  bench::add_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 0;
+  const bench::Settings s = bench::settings_from_flags(flags);
+
+  Table table({"snapshots", "unweighted_mean_err", "weighted_mean_err"});
+  std::cout << "# Ablation — variance weighting of equations "
+               "(correlation algorithm; 10% congested, Brite)\n";
+  for (const std::size_t snapshots : {125u, 500u, 2000u}) {
+    double plain_sum = 0.0, weighted_sum = 0.0;
+    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+      core::ScenarioConfig scenario;
+      scenario.topology = core::TopologyKind::kBrite;
+      bench::apply_scale(scenario, s);
+      scenario.congested_fraction = 0.10;
+      scenario.seed = mix_seed(s.seed, 0xab50 + trial);
+      const auto inst = core::build_scenario(scenario);
+      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      config.sim.snapshots = snapshots;
+      {
+        config.inference.weight_by_variance = false;
+        const auto r = core::run_experiment(inst, config);
+        plain_sum += mean(r.correlation_errors());
+      }
+      {
+        config.inference.weight_by_variance = true;
+        const auto r = core::run_experiment(inst, config);
+        weighted_sum += mean(r.correlation_errors());
+      }
+    }
+    table.add_row({std::to_string(snapshots),
+                   Table::fmt(plain_sum / s.trials),
+                   Table::fmt(weighted_sum / s.trials)});
+  }
+  bench::emit(table, s);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared plumbing for the figure-reproduction binaries: common flags,
+// scenario scaling, and multi-trial averaging.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace tomo::bench {
+
+struct Settings {
+  bool full = false;
+  bool csv = false;
+  std::size_t snapshots = 1000;
+  std::size_t packets = 500;
+  std::size_t trials = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Registers the flags every experiment binary shares.
+inline void add_common_flags(Flags& flags) {
+  flags.add_bool("full", false,
+                 "paper-scale topologies (slower; shapes are identical)");
+  flags.add_bool("csv", false, "emit CSV instead of an aligned table");
+  flags.add_int("snapshots", 2000, "snapshots per experiment");
+  flags.add_int("packets", 4000, "probe packets per path per snapshot");
+  flags.add_int("trials", 3, "independent trials averaged per data point");
+  flags.add_int("seed", 1, "base RNG seed");
+}
+
+inline Settings settings_from_flags(const Flags& flags) {
+  Settings s;
+  s.full = flags.get_bool("full");
+  s.csv = flags.get_bool("csv");
+  s.snapshots = static_cast<std::size_t>(flags.get_int("snapshots"));
+  s.packets = static_cast<std::size_t>(flags.get_int("packets"));
+  s.trials = static_cast<std::size_t>(flags.get_int("trials"));
+  s.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  return s;
+}
+
+/// Applies the scale knobs (default vs --full paper scale) to a scenario.
+inline void apply_scale(core::ScenarioConfig& config, const Settings& s) {
+  if (s.full) {
+    config.as_nodes = 320;
+    config.as_endpoints = 40;     // ~1500 ordered-pair paths
+    config.routers = 700;
+    config.vantage_points = 40;
+  } else {
+    config.as_nodes = 60;
+    config.as_endpoints = 16;
+    config.routers = 150;
+    config.vantage_points = 14;
+  }
+}
+
+inline core::ExperimentConfig experiment_config(const Settings& s,
+                                                std::uint64_t trial) {
+  core::ExperimentConfig config;
+  config.sim.snapshots = s.snapshots;
+  config.sim.packets_per_path = s.packets;
+  config.sim.mode = sim::PacketMode::kBinomial;
+  config.sim.seed = mix_seed(s.seed, 0x51000 + trial);
+  return config;
+}
+
+inline void emit(const Table& table, const Settings& s) {
+  if (s.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_text(std::cout);
+  }
+}
+
+}  // namespace tomo::bench

@@ -1,0 +1,69 @@
+// Microbenchmark: equation building (the rank-guided candidate stream) and
+// full inference on a mid-size scenario.
+#include <benchmark/benchmark.h>
+
+#include "core/correlation_algorithm.hpp"
+#include "core/scenario.hpp"
+#include "sim/measurement.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace tomo;
+
+struct Prepared {
+  core::ScenarioInstance inst;
+  graph::CoverageIndex coverage;
+  sim::SimulationResult sim_result;
+
+  explicit Prepared(core::ScenarioInstance instance)
+      : inst(std::move(instance)),
+        coverage(inst.graph, inst.paths),
+        sim_result(sim::simulate(inst.graph, inst.paths, *inst.truth,
+                                 make_sim_config())) {}
+
+  static sim::SimulatorConfig make_sim_config() {
+    sim::SimulatorConfig config;
+    config.snapshots = 1000;
+    config.mode = sim::PacketMode::kExact;
+    config.seed = 7;
+    return config;
+  }
+};
+
+Prepared& prepared() {
+  static Prepared p = [] {
+    core::ScenarioConfig config;
+    config.topology = core::TopologyKind::kBrite;
+    config.as_nodes = 60;
+    config.as_endpoints = 16;
+    config.congested_fraction = 0.10;
+    config.seed = 21;
+    return Prepared(core::build_scenario(config));
+  }();
+  return p;
+}
+
+void BM_BuildEquations(benchmark::State& state) {
+  Prepared& p = prepared();
+  const sim::EmpiricalMeasurement meas(p.sim_result.observations);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_equations(p.coverage, p.inst.declared_sets, meas));
+  }
+}
+BENCHMARK(BM_BuildEquations);
+
+void BM_FullInference(benchmark::State& state) {
+  Prepared& p = prepared();
+  const sim::EmpiricalMeasurement meas(p.sim_result.observations);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::infer_congestion(
+        p.inst.graph, p.inst.paths, p.coverage, p.inst.declared_sets, meas));
+  }
+}
+BENCHMARK(BM_FullInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

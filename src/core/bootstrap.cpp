@@ -1,0 +1,80 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "sim/measurement.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace tomo::core {
+
+sim::PathObservations resample_snapshots(const sim::PathObservations& obs,
+                                         Rng& rng) {
+  const std::size_t n = obs.snapshot_count();
+  sim::PathObservations out(obs.path_count(), n);
+  std::vector<std::size_t> picks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    picks[i] = static_cast<std::size_t>(rng.below(n));
+  }
+  for (sim::PathId p = 0; p < obs.path_count(); ++p) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (obs.congested(p, picks[i])) {
+        out.set_congested(p, i);
+      }
+    }
+  }
+  return out;
+}
+
+BootstrapResult bootstrap_congestion(const graph::Graph& g,
+                                     const std::vector<graph::Path>& paths,
+                                     const graph::CoverageIndex& coverage,
+                                     const corr::CorrelationSets& sets,
+                                     const sim::PathObservations& obs,
+                                     const BootstrapOptions& options) {
+  TOMO_REQUIRE(options.replicates >= 2, "bootstrap needs >= 2 replicates");
+  TOMO_REQUIRE(options.confidence > 0.0 && options.confidence < 1.0,
+               "confidence must be in (0,1)");
+
+  BootstrapResult result;
+  {
+    const sim::EmpiricalMeasurement full(obs);
+    result.point = infer_congestion(g, paths, coverage, sets, full,
+                                    options.inference)
+                       .congestion_prob;
+  }
+
+  std::vector<std::vector<double>> samples(g.link_count());
+  Rng rng(mix_seed(options.seed, 0xb007ULL));
+  for (std::size_t r = 0; r < options.replicates; ++r) {
+    const sim::PathObservations replicate = resample_snapshots(obs, rng);
+    const sim::EmpiricalMeasurement measurement(replicate);
+    std::vector<double> estimate;
+    try {
+      estimate = infer_congestion(g, paths, coverage, sets, measurement,
+                                  options.inference)
+                     .congestion_prob;
+    } catch (const Error&) {
+      // A replicate can lose all usable equations (every good snapshot of
+      // some path resampled away); skip it rather than abort the interval.
+      continue;
+    }
+    for (graph::LinkId e = 0; e < g.link_count(); ++e) {
+      samples[e].push_back(estimate[e]);
+    }
+    ++result.replicates;
+  }
+  TOMO_REQUIRE(result.replicates >= 2,
+               "bootstrap: too few usable replicates");
+
+  const double tail = (1.0 - options.confidence) / 2.0;
+  result.lower.resize(g.link_count());
+  result.upper.resize(g.link_count());
+  for (graph::LinkId e = 0; e < g.link_count(); ++e) {
+    result.lower[e] = percentile(samples[e], 100.0 * tail);
+    result.upper[e] = percentile(samples[e], 100.0 * (1.0 - tail));
+  }
+  return result;
+}
+
+}  // namespace tomo::core

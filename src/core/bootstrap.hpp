@@ -1,0 +1,47 @@
+// Bootstrap confidence intervals for inferred congestion probabilities.
+//
+// The paper reports point estimates; an operator acting on them (e.g.,
+// confronting a peer about an SLA) needs to know how much snapshot noise
+// they carry. This module resamples the snapshot axis with replacement,
+// re-runs the full inference per replicate, and reports per-link
+// percentile intervals. Stationarity (Assumption 3) is exactly the
+// property that makes snapshot resampling sound; for bursty (Gilbert-type)
+// congestion the i.i.d. bootstrap narrows intervals somewhat, which is the
+// usual caveat and is documented here rather than hidden.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/correlation_algorithm.hpp"
+#include "sim/snapshot.hpp"
+
+namespace tomo::core {
+
+struct BootstrapOptions {
+  std::size_t replicates = 30;
+  double confidence = 0.90;  // central interval mass
+  std::uint64_t seed = 1;
+  InferenceOptions inference;
+};
+
+struct BootstrapResult {
+  std::vector<double> point;  // estimate on the full sample
+  std::vector<double> lower;  // per-link interval bounds
+  std::vector<double> upper;
+  std::size_t replicates = 0;
+};
+
+/// Resamples snapshots of `obs` with replacement (same count).
+sim::PathObservations resample_snapshots(const sim::PathObservations& obs,
+                                         Rng& rng);
+
+/// Full-pipeline bootstrap of the correlation algorithm.
+BootstrapResult bootstrap_congestion(const graph::Graph& g,
+                                     const std::vector<graph::Path>& paths,
+                                     const graph::CoverageIndex& coverage,
+                                     const corr::CorrelationSets& sets,
+                                     const sim::PathObservations& obs,
+                                     const BootstrapOptions& options = {});
+
+}  // namespace tomo::core

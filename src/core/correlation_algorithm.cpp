@@ -1,0 +1,105 @@
+#include "core/correlation_algorithm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "corr/identifiability.hpp"
+#include "util/error.hpp"
+
+namespace tomo::core {
+
+corr::CorrelationSets demote_to_singletons(
+    const corr::CorrelationSets& sets,
+    const std::vector<graph::LinkId>& links) {
+  std::vector<std::uint8_t> demote(sets.link_count(), 0);
+  for (graph::LinkId e : links) {
+    TOMO_REQUIRE(e < sets.link_count(), "demoted link out of range");
+    demote[e] = 1;
+  }
+  graph::LinkPartition partition;
+  for (std::size_t s = 0; s < sets.set_count(); ++s) {
+    std::vector<graph::LinkId> keep;
+    for (graph::LinkId e : sets.set(s)) {
+      if (!demote[e]) keep.push_back(e);
+    }
+    if (!keep.empty()) partition.push_back(std::move(keep));
+  }
+  for (graph::LinkId e = 0; e < sets.link_count(); ++e) {
+    if (demote[e]) partition.push_back({e});
+  }
+  return corr::CorrelationSets(sets.link_count(), std::move(partition));
+}
+
+InferenceResult infer_congestion(const graph::Graph& g,
+                                 const std::vector<graph::Path>& paths,
+                                 const graph::CoverageIndex& coverage,
+                                 const corr::CorrelationSets& sets,
+                                 const sim::MeasurementProvider& measurement,
+                                 const InferenceOptions& options) {
+  InferenceResult result;
+
+  corr::CorrelationSets refined = sets;
+  if (options.refine_unidentifiable) {
+    result.refined_links =
+        corr::structurally_unidentifiable_links(g, paths, sets);
+    if (!result.refined_links.empty()) {
+      refined = demote_to_singletons(sets, result.refined_links);
+    }
+  }
+
+  result.system =
+      build_equations(coverage, refined, measurement, options.equations);
+
+  // Fallback rounds: links untouched by any usable equation are
+  // unidentifiable under the declared structure — act as if they were
+  // uncorrelated (paper §3.3) and rebuild.
+  for (std::size_t round = 0;
+       options.demote_uncovered && round < options.max_demotion_rounds;
+       ++round) {
+    std::vector<std::uint8_t> covered(coverage.link_count(), 0);
+    for (const Equation& eq : result.system.equations) {
+      for (graph::LinkId e : eq.links) covered[e] = 1;
+    }
+    std::vector<graph::LinkId> uncovered;
+    for (graph::LinkId e = 0; e < coverage.link_count(); ++e) {
+      if (!covered[e]) uncovered.push_back(e);
+    }
+    if (uncovered.empty()) break;
+    bool progress = false;
+    for (graph::LinkId e : uncovered) {
+      if (refined.set(refined.set_of(e)).size() > 1) progress = true;
+    }
+    if (!progress) break;  // already singletons; nothing left to relax
+    refined = demote_to_singletons(refined, uncovered);
+    result.refined_links.insert(result.refined_links.end(),
+                                uncovered.begin(), uncovered.end());
+    result.system =
+        build_equations(coverage, refined, measurement, options.equations);
+  }
+  TOMO_REQUIRE(!result.system.equations.empty(),
+               "no usable equations: the measurements never observed a "
+               "usable good path");
+
+  linalg::LogSystemSolution solution;
+  if (options.weight_by_variance && measurement.sample_count() > 0) {
+    EquationSystem weighted = result.system;
+    apply_variance_weights(weighted, measurement.sample_count());
+    solution =
+        linalg::solve_log_system(weighted.a, weighted.y, options.solver);
+  } else {
+    solution = linalg::solve_log_system(result.system.a, result.system.y,
+                                        options.solver);
+  }
+  result.log_good = solution.x;
+  result.solver_detail = solution.detail;
+  result.congestion_prob.resize(solution.x.size());
+  for (std::size_t k = 0; k < solution.x.size(); ++k) {
+    result.congestion_prob[k] = 1.0 - std::exp(solution.x[k]);
+    // Clamp residual numerical noise.
+    result.congestion_prob[k] =
+        std::clamp(result.congestion_prob[k], 0.0, 1.0);
+  }
+  return result;
+}
+
+}  // namespace tomo::core

@@ -1,0 +1,59 @@
+// The paper's practical algorithm (§4): infer per-link congestion
+// probabilities from end-to-end measurements in the presence of correlated
+// links, with computation polynomial in the number of links.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/equations.hpp"
+#include "linalg/solvers.hpp"
+
+namespace tomo::core {
+
+struct InferenceOptions {
+  linalg::SolverKind solver = linalg::SolverKind::kNnls;
+  EquationBuildOptions equations;
+  /// Apply the paper's §3.3 fallback: links flagged unidentifiable by the
+  /// structural Assumption-4 check are treated as uncorrelated (moved to
+  /// singleton sets) before equations are formed.
+  bool refine_unidentifiable = true;
+  /// Second stage of the same fallback: links that end up in *no* usable
+  /// equation (every path through them also crosses a same-set link) are
+  /// effectively unidentifiable under the declared structure; treat them
+  /// as uncorrelated and rebuild, so the previously correlated paths
+  /// become usable. Their own estimates inherit the independence
+  /// algorithm's bias, but every other link keeps its clean equations —
+  /// exactly the trade-off the paper describes.
+  bool demote_uncovered = true;
+  std::size_t max_demotion_rounds = 3;
+  /// Weight each equation by the inverse standard deviation of its
+  /// estimate (delta method) before solving, so thinly supported
+  /// measurements count less. No effect with oracle measurements.
+  bool weight_by_variance = false;
+};
+
+struct InferenceResult {
+  std::vector<double> congestion_prob;  // P(X_k = 1) per link
+  std::vector<double> log_good;         // x_k = log P(X_k = 0)
+  EquationSystem system;                // the solved system (diagnostics)
+  std::string solver_detail;
+  std::vector<graph::LinkId> refined_links;  // demoted to singletons
+};
+
+/// The correlation algorithm. `sets` is the operator's declared correlation
+/// structure; measurements come from `measurement`.
+InferenceResult infer_congestion(const graph::Graph& g,
+                                 const std::vector<graph::Path>& paths,
+                                 const graph::CoverageIndex& coverage,
+                                 const corr::CorrelationSets& sets,
+                                 const sim::MeasurementProvider& measurement,
+                                 const InferenceOptions& options = {});
+
+/// Moves every link in `links` out of its correlation set into a singleton
+/// set (empty source sets disappear). Exposed for tests and scenarios.
+corr::CorrelationSets demote_to_singletons(
+    const corr::CorrelationSets& sets,
+    const std::vector<graph::LinkId>& links);
+
+}  // namespace tomo::core

@@ -1,0 +1,183 @@
+#include "core/equations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "linalg/rank_tracker.hpp"
+#include "sim/estimator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tomo::core {
+
+namespace {
+
+std::vector<graph::LinkId> sorted_links(const std::vector<graph::LinkId>& in) {
+  std::vector<graph::LinkId> out = in;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<graph::LinkId> sorted_union(const std::vector<graph::LinkId>& a,
+                                        const std::vector<graph::LinkId>& b) {
+  std::vector<graph::LinkId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+EquationSystem build_equations(const graph::CoverageIndex& coverage,
+                               const corr::CorrelationSets& sets,
+                               const sim::MeasurementProvider& measurement,
+                               const EquationBuildOptions& options) {
+  TOMO_REQUIRE(coverage.link_count() == sets.link_count(),
+               "coverage and correlation sets disagree on link count");
+  TOMO_REQUIRE(coverage.path_count() == measurement.path_count(),
+               "coverage and measurement disagree on path count");
+
+  const std::size_t link_count = coverage.link_count();
+  const std::size_t path_count = coverage.path_count();
+
+  EquationSystem sys;
+  sys.link_count = link_count;
+  linalg::RankTracker tracker(link_count);
+
+  // Per-path sorted link lists, reused throughout.
+  std::vector<std::vector<graph::LinkId>> plinks(path_count);
+  for (graph::PathId p = 0; p < path_count; ++p) {
+    plinks[p] = sorted_links(coverage.links_of(p));
+  }
+
+  // Phase 1: single-path equations (paper Eq. 9).
+  std::vector<std::uint8_t> eligible(path_count, 0);
+  for (graph::PathId p = 0; p < path_count; ++p) {
+    if (!sets.correlation_free(plinks[p])) {
+      ++sys.dropped_correlated;
+      continue;
+    }
+    const sim::LogProbEstimate est =
+        sim::log_estimate(measurement.good_prob(p), measurement.sample_count(),
+                          options.min_good_snapshots);
+    if (!est.usable) {
+      ++sys.dropped_unusable;
+      continue;
+    }
+    eligible[p] = 1;  // usable & correlation-free: a pair-phase citizen
+    const bool independent = tracker.try_add_ones(plinks[p]);
+    if (!independent && !options.include_redundant) {
+      ++sys.dropped_dependent;
+      continue;
+    }
+    sys.equations.push_back(Equation{plinks[p], {p}, est.log_prob});
+    ++sys.n1;
+  }
+
+  // Phase 2: pair equations (paper Eq. 10). Only pairs sharing at least
+  // one link can increase rank, so candidates are generated from the
+  // per-link path lists.
+  const std::size_t pair_budget =
+      options.include_redundant
+          ? (options.max_pair_equations != 0 ? options.max_pair_equations
+                                             : link_count)
+          : link_count;
+  const bool want_pairs =
+      options.use_pairs &&
+      (options.include_redundant || !tracker.full_rank());
+  if (want_pairs) {
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::pair<graph::PathId, graph::PathId>> candidates;
+    for (graph::LinkId e = 0; e < link_count; ++e) {
+      const auto& through = coverage.paths_through(e);
+      for (std::size_t i = 0; i < through.size(); ++i) {
+        if (!eligible[through[i]]) continue;
+        for (std::size_t j = i + 1; j < through.size(); ++j) {
+          if (!eligible[through[j]]) continue;
+          const std::uint64_t key =
+              static_cast<std::uint64_t>(through[i]) * path_count +
+              through[j];
+          if (seen.insert(key).second) {
+            candidates.emplace_back(through[i], through[j]);
+          }
+        }
+      }
+    }
+    Rng rng(options.shuffle_seed);
+    rng.shuffle(candidates);
+    for (const auto& [p, q] : candidates) {
+      const bool budget_reached =
+          options.include_redundant && sys.n2 >= pair_budget;
+      if (tracker.full_rank() && (!options.include_redundant ||
+                                  budget_reached)) {
+        break;
+      }
+      if (options.max_pair_candidates != 0 &&
+          sys.pair_candidates_tried >= options.max_pair_candidates) {
+        break;
+      }
+      ++sys.pair_candidates_tried;
+      std::vector<graph::LinkId> links = sorted_union(plinks[p], plinks[q]);
+      if (!sets.correlation_free(links)) {
+        ++sys.dropped_correlated;
+        continue;
+      }
+      const sim::LogProbEstimate est = sim::log_estimate(
+          measurement.pair_good_prob(p, q), measurement.sample_count(),
+          options.min_good_snapshots);
+      if (!est.usable) {
+        ++sys.dropped_unusable;
+        continue;
+      }
+      // Once full rank is reached, redundant-mode acceptance no longer
+      // needs the (expensive) elimination sweep.
+      const bool independent =
+          tracker.full_rank() ? false : tracker.try_add_ones(links);
+      if (!independent && (!options.include_redundant || budget_reached)) {
+        // Past the budget, only rank-increasing pairs are still worth
+        // taking (the hunt for missing columns continues).
+        ++sys.dropped_dependent;
+        continue;
+      }
+      sys.equations.push_back(Equation{std::move(links), {p, q}, est.log_prob});
+      ++sys.n2;
+    }
+  }
+
+  sys.rank = tracker.rank();
+  TOMO_ASSERT(options.include_redundant || sys.rank == sys.n1 + sys.n2);
+
+  sys.a = linalg::Matrix(sys.equations.size(), link_count);
+  sys.y.resize(sys.equations.size());
+  for (std::size_t i = 0; i < sys.equations.size(); ++i) {
+    for (graph::LinkId e : sys.equations[i].links) {
+      sys.a(i, e) = 1.0;
+    }
+    sys.y[i] = sys.equations[i].y;
+  }
+  return sys;
+}
+
+}  // namespace tomo::core
+
+namespace tomo::core {
+
+void apply_variance_weights(EquationSystem& system, std::size_t samples) {
+  if (samples == 0) return;
+  const double n = static_cast<double>(samples);
+  for (std::size_t i = 0; i < system.equations.size(); ++i) {
+    const double p = std::exp(system.equations[i].y);
+    // p is in (0, 1]: unusable zero-probability equations never enter the
+    // system. Guard the p == 1 case (zero variance) with one pseudo-count.
+    const double variance = std::max((1.0 - p) / (p * n), 1.0 / (n * n));
+    const double weight = 1.0 / std::sqrt(variance);
+    for (std::size_t c = 0; c < system.a.cols(); ++c) {
+      system.a(i, c) *= weight;
+    }
+    system.y[i] *= weight;
+  }
+}
+
+}  // namespace tomo::core

@@ -1,0 +1,84 @@
+// The §4 equation builder.
+//
+// In the log domain, a "correlation-free" set of links (no two links from
+// the same correlation set) factorizes: log P(all good) = Σ_k x_k. The
+// builder therefore harvests two candidate families:
+//   singles — paths whose links are correlation-free (Eq. 9), and
+//   pairs   — path pairs whose *union* of links is correlation-free
+//             (Eq. 10); only intersecting pairs can add rank, since the
+//             union row of two disjoint basis rows is their sum.
+// Candidates stream through an incremental rank tracker; only rank-
+// increasing equations with usable measurements (non-zero empirical
+// probability) are kept. The result is N1 + N2 <= |E| independent
+// equations, exactly the system the paper solves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/coverage.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/measurement.hpp"
+
+namespace tomo::core {
+
+struct Equation {
+  std::vector<graph::LinkId> links;  // sorted union, the 0/1 row support
+  std::vector<graph::PathId> paths;  // 1 (single) or 2 (pair)
+  double y;                          // log P(all paths good)
+};
+
+struct EquationSystem {
+  linalg::Matrix a;   // |equations| x |links| incidence matrix
+  linalg::Vector y;   // right-hand sides
+  std::vector<Equation> equations;
+  std::size_t link_count = 0;
+  std::size_t n1 = 0;             // accepted single-path equations
+  std::size_t n2 = 0;             // accepted pair equations
+  std::size_t rank = 0;           // == n1 + n2
+  std::size_t dropped_correlated = 0;  // candidates with correlated links
+  std::size_t dropped_unusable = 0;    // zero/low empirical probability
+  std::size_t dropped_dependent = 0;   // linearly dependent candidates
+  std::size_t pair_candidates_tried = 0;
+
+  bool full_rank() const { return rank == link_count; }
+};
+
+struct EquationBuildOptions {
+  bool use_pairs = true;
+  /// Upper bound on pair candidates examined (each may cost an elimination
+  /// sweep); 0 means no bound.
+  std::size_t max_pair_candidates = 0;
+  /// Minimum good-snapshot support for an empirical estimate to be usable.
+  std::size_t min_good_snapshots = 1;
+  /// Shuffles the pair-candidate order (deterministic); spreads accepted
+  /// pairs across the topology instead of clustering near low link ids.
+  std::uint64_t shuffle_seed = 7;
+  /// When true (default), every usable equation the correlation structure
+  /// admits is kept, including linearly dependent ones — the solver then
+  /// fits all available measurements (what [12] effectively does). When
+  /// false, only rank-increasing equations are kept: the minimal
+  /// N1 + N2 <= |E| system of the paper's §4 presentation.
+  bool include_redundant = true;
+  /// Cap on accepted pair equations in redundant mode (0 = one per link,
+  /// i.e. |E|). Ignored when include_redundant is false.
+  std::size_t max_pair_equations = 0;
+};
+
+/// Builds the equation system for the given correlation structure. Pass
+/// CorrelationSets::singletons() to obtain the independence baseline's
+/// system.
+EquationSystem build_equations(const graph::CoverageIndex& coverage,
+                               const corr::CorrelationSets& sets,
+                               const sim::MeasurementProvider& measurement,
+                               const EquationBuildOptions& options = {});
+
+/// Scales each equation by the inverse standard deviation of its estimate:
+/// by the delta method, Var(log p-hat) ~= (1 - p) / (p * N) for a binomial
+/// proportion over N snapshots. Well-supported equations then count more
+/// in the (least-squares-family) solve. No-op when `samples` == 0 (oracle
+/// measurements are exact).
+void apply_variance_weights(EquationSystem& system, std::size_t samples);
+
+}  // namespace tomo::core

@@ -1,0 +1,58 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/independence_algorithm.hpp"
+#include "sim/measurement.hpp"
+#include "util/error.hpp"
+
+namespace tomo::core {
+
+std::vector<double> ExperimentResult::correlation_errors() const {
+  return metrics::absolute_errors(truth, correlation.congestion_prob,
+                                  potentially_congested);
+}
+
+std::vector<double> ExperimentResult::independence_errors() const {
+  return metrics::absolute_errors(truth, independence.congestion_prob,
+                                  potentially_congested);
+}
+
+ExperimentResult run_experiment(const ScenarioInstance& scenario,
+                                const ExperimentConfig& config) {
+  TOMO_REQUIRE(scenario.truth != nullptr, "scenario has no truth model");
+
+  const graph::CoverageIndex coverage(scenario.graph, scenario.paths);
+  const sim::SimulationResult sim_result =
+      sim::simulate(scenario.graph, scenario.paths, *scenario.truth,
+                    config.sim);
+  const sim::EmpiricalMeasurement measurement(sim_result.observations);
+
+  ExperimentResult result;
+  result.truth = scenario.true_marginals;
+
+  // Potentially congested links: on >= 1 path that was ever congested.
+  std::unordered_set<std::size_t> flagged;
+  for (graph::PathId p = 0; p < scenario.paths.size(); ++p) {
+    if (sim_result.observations.good_count(p) <
+        sim_result.observations.snapshot_count()) {
+      for (graph::LinkId e : scenario.paths[p].links()) {
+        flagged.insert(e);
+      }
+    }
+  }
+  result.potentially_congested.assign(flagged.begin(), flagged.end());
+  std::sort(result.potentially_congested.begin(),
+            result.potentially_congested.end());
+
+  result.correlation =
+      infer_congestion(scenario.graph, scenario.paths, coverage,
+                       scenario.declared_sets, measurement, config.inference);
+  result.independence = infer_congestion_independent(
+      scenario.graph, scenario.paths, coverage, measurement,
+      config.inference);
+  return result;
+}
+
+}  // namespace tomo::core

@@ -1,0 +1,34 @@
+// End-to-end experiment runner: simulate a scenario, run both algorithms,
+// and evaluate against ground truth — one call per figure data point.
+#pragma once
+
+#include <vector>
+
+#include "core/correlation_algorithm.hpp"
+#include "core/scenario.hpp"
+#include "metrics/error_metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace tomo::core {
+
+struct ExperimentConfig {
+  sim::SimulatorConfig sim;
+  InferenceOptions inference;  // shared by both algorithms
+};
+
+struct ExperimentResult {
+  std::vector<double> truth;  // true P(X_k = 1)
+  /// Links participating in at least one path observed congested — the
+  /// population every paper metric is computed over.
+  std::vector<std::size_t> potentially_congested;
+  InferenceResult correlation;    // the paper's algorithm
+  InferenceResult independence;   // the [12] baseline
+
+  std::vector<double> correlation_errors() const;
+  std::vector<double> independence_errors() const;
+};
+
+ExperimentResult run_experiment(const ScenarioInstance& scenario,
+                                const ExperimentConfig& config);
+
+}  // namespace tomo::core

@@ -1,0 +1,19 @@
+#include "core/independence_algorithm.hpp"
+
+namespace tomo::core {
+
+InferenceResult infer_congestion_independent(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const graph::CoverageIndex& coverage,
+    const sim::MeasurementProvider& measurement,
+    const InferenceOptions& options) {
+  const corr::CorrelationSets singles =
+      corr::CorrelationSets::singletons(coverage.link_count());
+  InferenceOptions opts = options;
+  // With singleton sets nothing is unidentifiable by the structural
+  // criterion in the correlated sense; skip the refinement pass.
+  opts.refine_unidentifiable = false;
+  return infer_congestion(g, paths, coverage, singles, measurement, opts);
+}
+
+}  // namespace tomo::core

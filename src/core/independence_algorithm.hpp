@@ -1,0 +1,20 @@
+// The independence baseline (Nguyen & Thiran [12]).
+//
+// Identical machinery to the correlation algorithm, but the correlation
+// structure is replaced by all-singleton sets: every path and every pair of
+// paths yields an equation whose joint probability is assumed to factorize
+// over links. When links actually are correlated, the pair equations are
+// biased — the modelling error the paper quantifies in §5.
+#pragma once
+
+#include "core/correlation_algorithm.hpp"
+
+namespace tomo::core {
+
+InferenceResult infer_congestion_independent(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const graph::CoverageIndex& coverage,
+    const sim::MeasurementProvider& measurement,
+    const InferenceOptions& options = {});
+
+}  // namespace tomo::core

@@ -1,0 +1,50 @@
+#include "core/merged_inference.hpp"
+
+#include "util/error.hpp"
+
+namespace tomo::core {
+
+MergedInferenceResult infer_on_merged(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const corr::CorrelationSets& sets,
+    const sim::MeasurementProvider& measurement,
+    const InferenceOptions& options) {
+  MergedInferenceResult result;
+  result.transform =
+      graph::merge_indistinguishable(g, paths, sets.partition());
+  TOMO_REQUIRE(result.transform.paths.size() == paths.size(),
+               "merge transformation must preserve the path set");
+
+  const graph::CoverageIndex coverage(result.transform.graph,
+                                      result.transform.paths);
+  const corr::CorrelationSets merged_sets(
+      result.transform.graph.link_count(), result.transform.partition);
+  result.inference =
+      infer_congestion(result.transform.graph, result.transform.paths,
+                       coverage, merged_sets, measurement, options);
+
+  // Project back: original link -> containing merged link.
+  constexpr graph::LinkId npos = static_cast<graph::LinkId>(-1);
+  result.merged_of.assign(g.link_count(), npos);
+  result.original_link_prob.assign(g.link_count(), 0.0);
+  for (graph::LinkId merged = 0;
+       merged < result.transform.graph.link_count(); ++merged) {
+    for (graph::LinkId original : result.transform.composition[merged]) {
+      TOMO_REQUIRE(original < g.link_count(),
+                   "merge composition references unknown link");
+      // A link may appear in several merged links (it was traversed by
+      // paths merging differently); keep the smallest estimate — the
+      // tightest upper bound on the original link's own probability.
+      if (result.merged_of[original] == npos ||
+          result.inference.congestion_prob[merged] <
+              result.original_link_prob[original]) {
+        result.merged_of[original] = merged;
+        result.original_link_prob[original] =
+            result.inference.congestion_prob[merged];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tomo::core

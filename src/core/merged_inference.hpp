@@ -1,0 +1,42 @@
+// Inference on the merge-transformed topology (paper §3.3).
+//
+// When Assumption 4 fails because indistinguishable correlation subsets
+// occur consecutively, the paper's transformation removes the offending
+// intermediate nodes and fuses their links into merged links; tomography
+// then characterizes the *merged* links exactly, at coarser granularity.
+// This module packages the full pipeline: transform, re-map the path
+// observations (paths keep their identity, only their link composition
+// changes), infer on the transformed system, and report results both per
+// merged link and projected back onto the original links (each original
+// link inherits its merged link's probability as an upper bound on what is
+// knowable).
+#pragma once
+
+#include <vector>
+
+#include "core/correlation_algorithm.hpp"
+#include "graph/transform.hpp"
+
+namespace tomo::core {
+
+struct MergedInferenceResult {
+  graph::MergeResult transform;      // the §3.3 transformation
+  InferenceResult inference;         // on the transformed system
+  /// For each original link: the congestion probability of the merged
+  /// link containing it (identical for all links merged together).
+  std::vector<double> original_link_prob;
+  /// Original link -> merged link id.
+  std::vector<graph::LinkId> merged_of;
+};
+
+/// Applies merge_indistinguishable and runs the correlation algorithm on
+/// the result. `paths` and the observation stream keep their order, so
+/// `measurement` (built from the original observations) remains valid —
+/// path congestion status is unchanged by re-describing the links beneath.
+MergedInferenceResult infer_on_merged(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const corr::CorrelationSets& sets,
+    const sim::MeasurementProvider& measurement,
+    const InferenceOptions& options = {});
+
+}  // namespace tomo::core

@@ -1,0 +1,73 @@
+// Evaluation scenarios (paper §5): topology + correlation structure +
+// ground-truth congestion model for each figure's workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace tomo::core {
+
+enum class TopologyKind {
+  kBrite,      // hierarchical AS+router substitute (Fig. 3-5 "Brite")
+  kPlanetLab,  // synthetic traceroute mesh (Fig. 4-5 "PlanetLab")
+};
+
+enum class CorrelationLevel {
+  kHigh,   // > 2 congested links per correlation set (Fig. 3 a-c)
+  kLoose,  // <= 2 congested links per correlation set (Fig. 3 d)
+};
+
+struct ScenarioConfig {
+  TopologyKind topology = TopologyKind::kBrite;
+
+  // Scale knobs (defaults give a minutes-long full suite; the benches'
+  // --full flag raises them to paper scale).
+  std::size_t as_nodes = 60;
+  std::size_t as_endpoints = 16;
+  std::size_t routers = 150;
+  std::size_t vantage_points = 14;
+  std::size_t cluster_size = 6;  // max correlation-set size (both topologies)
+  /// Probability that a link's bottleneck sits on a shared fabric segment
+  /// (higher = more links correlated).
+  double fabric_prob = 0.65;
+
+  double congested_fraction = 0.10;
+  CorrelationLevel level = CorrelationLevel::kHigh;
+  double correlation_strength = 0.95;
+  double marginal_lo = 0.10;  // congested links draw their true congestion
+  double marginal_hi = 0.60;  // probability around a per-set base in range
+
+  /// Target fraction of congested links made unidentifiable by mutating
+  /// the correlation structure around intermediate nodes (Fig. 4).
+  double unidentifiable_fraction = 0.0;
+
+  /// Target fraction of congested links secretly correlated by a worm the
+  /// declared structure knows nothing about (Fig. 5).
+  double mislabeled_fraction = 0.0;
+  double worm_rho = 0.5;
+
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioInstance {
+  graph::Graph graph;
+  std::vector<graph::Path> paths;
+  corr::CorrelationSets declared_sets;  // what the algorithms are told
+  std::unique_ptr<corr::CongestionModel> truth;  // what actually happens
+  std::vector<graph::LinkId> congested_links;    // links with p > 0
+  std::vector<graph::LinkId> mislabeled_links;   // worm targets
+  std::vector<graph::LinkId> unidentifiable_congested;
+  std::vector<double> true_marginals;  // truth->marginals(), cached
+  std::string description;
+};
+
+/// Materializes a scenario. Deterministic in config.seed.
+ScenarioInstance build_scenario(const ScenarioConfig& config);
+
+}  // namespace tomo::core

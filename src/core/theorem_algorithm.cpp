@@ -1,0 +1,195 @@
+#include "core/theorem_algorithm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tomo::core {
+
+namespace {
+
+struct SubsetRef {
+  std::size_t set;
+  std::uint32_t mask;
+  std::size_t covered_count;
+};
+
+}  // namespace
+
+TheoremResult run_theorem_algorithm(const graph::CoverageIndex& coverage,
+                                    const corr::CorrelationSets& sets,
+                                    const sim::MeasurementProvider& m,
+                                    const TheoremOptions& options) {
+  TOMO_REQUIRE(coverage.link_count() == sets.link_count(),
+               "coverage and correlation sets disagree on link count");
+  TOMO_REQUIRE(sets.link_count() <= options.max_links,
+               "theorem algorithm: too many links for state enumeration");
+
+  const std::size_t set_count = sets.set_count();
+
+  // Per set, per member mask: the covered path set ψ(A).
+  std::vector<std::vector<graph::PathIdSet>> covered(set_count);
+  for (std::size_t s = 0; s < set_count; ++s) {
+    const auto& members = sets.set(s);
+    TOMO_REQUIRE(members.size() <= options.max_set_size,
+                 "theorem algorithm: correlation set too large");
+    const std::size_t total = std::size_t{1} << members.size();
+    covered[s].resize(total);
+    for (std::size_t mask = 1; mask < total; ++mask) {
+      std::vector<graph::LinkId> links;
+      for (std::size_t bit = 0; bit < members.size(); ++bit) {
+        if (mask & (std::size_t{1} << bit)) {
+          links.push_back(members[bit]);
+        }
+      }
+      covered[s][mask] = coverage.covered_paths(links);
+    }
+  }
+
+  // Order C-tilde by |ψ(A)| ascending (the partial order T of Eq. 12).
+  std::vector<SubsetRef> order;
+  for (std::size_t s = 0; s < set_count; ++s) {
+    for (std::size_t mask = 1; mask < covered[s].size(); ++mask) {
+      order.push_back({s, static_cast<std::uint32_t>(mask),
+                       covered[s][mask].size()});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const SubsetRef& a, const SubsetRef& b) {
+              return a.covered_count < b.covered_count;
+            });
+
+  const double p_empty = m.exact_pattern_prob({});
+  TOMO_REQUIRE(p_empty > 0.0,
+               "theorem algorithm: the all-paths-good event was never "
+               "observed, so no congestion factor is measurable");
+
+  TheoremResult result;
+  result.alpha.resize(set_count);
+  std::vector<std::vector<std::uint8_t>> known(set_count);
+  for (std::size_t s = 0; s < set_count; ++s) {
+    result.alpha[s].assign(covered[s].size(), 0.0);
+    known[s].assign(covered[s].size(), 0);
+    result.alpha[s][0] = 1.0;  // α_∅ = 1 by definition
+    known[s][0] = 1;
+  }
+
+  for (const SubsetRef& target : order) {
+    const graph::PathIdSet& psi = covered[target.set][target.mask];
+
+    // Admissible per-set states: masks whose covered paths are inside ψ(A).
+    std::vector<std::vector<std::uint32_t>> admissible(set_count);
+    for (std::size_t s = 0; s < set_count; ++s) {
+      for (std::size_t mask = 0; mask < covered[s].size(); ++mask) {
+        if (mask == 0 ||
+            std::includes(psi.begin(), psi.end(), covered[s][mask].begin(),
+                          covered[s][mask].end())) {
+          admissible[s].push_back(static_cast<std::uint32_t>(mask));
+        }
+      }
+    }
+
+    // Enumerate network states with ψ(S_n) = ψ(A); accumulate Γ_A (states
+    // with S^q_n = A, product over p != q) and Γ_Ā (states with
+    // S^q_n != A, full product).
+    double gamma_a = 0.0;
+    double gamma_abar = 0.0;
+    auto dfs = [&](auto&& self, std::size_t s, double product,
+                   const graph::PathIdSet& covered_so_far,
+                   bool q_is_target) -> void {
+      if (s == set_count) {
+        if (covered_so_far != psi) return;
+        if (q_is_target) {
+          gamma_a += product;
+        } else {
+          gamma_abar += product;
+        }
+        return;
+      }
+      for (std::uint32_t mask : admissible[s]) {
+        const bool is_target = (s == target.set && mask == target.mask);
+        double factor = 1.0;
+        if (!is_target) {
+          if (!known[s][mask]) {
+            // A factor of equal |ψ| would be required before it is
+            // computable: Assumption 4 is violated.
+            throw Error(
+                "theorem algorithm: Assumption 4 (identifiability) is "
+                "violated — two correlation subsets cover the same paths");
+          }
+          factor = result.alpha[s][mask];
+          if (factor == 0.0 && mask != 0) {
+            // Zero factors cannot contribute; skip early.
+            continue;
+          }
+        }
+        self(self, s + 1, product * factor,
+             mask == 0 ? covered_so_far
+                       : graph::path_set_union(covered_so_far,
+                                               covered[s][mask]),
+             q_is_target || is_target);
+      }
+    };
+    dfs(dfs, 0, 1.0, {}, false);
+    TOMO_ASSERT(gamma_a > 0.0);  // the state S_n = A always qualifies
+
+    const double ratio = m.exact_pattern_prob(psi) / p_empty;
+    const double alpha = (ratio - gamma_abar) / gamma_a;
+    result.alpha[target.set][target.mask] = std::max(0.0, alpha);
+    known[target.set][target.mask] = 1;
+  }
+
+  // Lemma 3: state probabilities and marginals.
+  result.state_prob.resize(set_count);
+  result.congestion_prob.assign(sets.link_count(), 0.0);
+  for (std::size_t s = 0; s < set_count; ++s) {
+    const auto& members = sets.set(s);
+    double denom = 0.0;
+    for (double a : result.alpha[s]) denom += a;
+    TOMO_ASSERT(denom >= 1.0);
+    const double p_set_empty = 1.0 / denom;
+    result.state_prob[s].resize(result.alpha[s].size());
+    for (std::size_t mask = 0; mask < result.alpha[s].size(); ++mask) {
+      result.state_prob[s][mask] = result.alpha[s][mask] * p_set_empty;
+      for (std::size_t bit = 0; bit < members.size(); ++bit) {
+        if (mask & (std::size_t{1} << bit)) {
+          result.congestion_prob[members[bit]] +=
+              result.state_prob[s][mask];
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double joint_congested_prob(const TheoremResult& result,
+                            const corr::CorrelationSets& sets,
+                            const std::vector<graph::LinkId>& links) {
+  // Group queried links per set, build the within-set requirement mask, and
+  // sum state probabilities over supersets; multiply across sets.
+  std::vector<std::uint32_t> required(sets.set_count(), 0);
+  for (graph::LinkId link : links) {
+    const std::size_t s = sets.set_of(link);
+    const auto& members = sets.set(s);
+    const auto it =
+        std::lower_bound(members.begin(), members.end(), link);
+    TOMO_ASSERT(it != members.end() && *it == link);
+    required[s] |= std::uint32_t{1}
+                   << static_cast<std::uint32_t>(it - members.begin());
+  }
+  double prob = 1.0;
+  for (std::size_t s = 0; s < sets.set_count(); ++s) {
+    if (required[s] == 0) continue;
+    double sum = 0.0;
+    for (std::size_t mask = 0; mask < result.state_prob[s].size(); ++mask) {
+      if ((mask & required[s]) == required[s]) {
+        sum += result.state_prob[s][mask];
+      }
+    }
+    prob *= sum;
+  }
+  return prob;
+}
+
+}  // namespace tomo::core

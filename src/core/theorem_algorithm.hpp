@@ -1,0 +1,60 @@
+// The "theorem algorithm": the constructive procedure inside the proof of
+// Theorem 1 (paper §3, Appendix A).
+//
+// It measures P(ψ(S) = ψ(A)) — the probability that the paths covered by
+// correlation subset A are *exactly* the congested paths — for every
+// A ∈ C-tilde, orders subsets by |ψ(A)|, and solves Eq. 18
+//
+//   P(ψ(S)=ψ(A)) / P(ψ(S)=∅)  =  α_A Γ_A + Γ_Ā
+//
+// for the congestion factors α_A = P(S^p=A)/P(S^p=∅), each of which
+// depends only on already-computed factors (Lemmas 1-2). Lemma 3 then
+// recovers every per-set state probability and hence every joint and
+// marginal congestion probability.
+//
+// The cost is exponential in correlation-set size and in the state
+// enumeration, which is precisely why the paper develops the practical §4
+// algorithm; this implementation exists as the exact reference for small
+// systems and as executable documentation of the proof.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/coverage.hpp"
+#include "sim/measurement.hpp"
+
+namespace tomo::core {
+
+struct TheoremOptions {
+  std::size_t max_set_size = 16;  // per-set mask enumeration guard
+  std::size_t max_links = 24;     // total-state enumeration guard
+};
+
+struct TheoremResult {
+  /// Congestion factors per correlation set, indexed by member mask
+  /// (bit i = i-th link of the sorted member list); alpha[s][0] == 1.
+  std::vector<std::vector<double>> alpha;
+  /// P(S^p = A) per correlation set and member mask.
+  std::vector<std::vector<double>> state_prob;
+  /// Marginal P(X_k = 1) per link.
+  std::vector<double> congestion_prob;
+};
+
+/// Runs the theorem algorithm. Throws tomo::Error if Assumption 4 is
+/// violated (a congestion factor would be needed before it is computable)
+/// or if the guards are exceeded.
+TheoremResult run_theorem_algorithm(const graph::CoverageIndex& coverage,
+                                    const corr::CorrelationSets& sets,
+                                    const sim::MeasurementProvider& m,
+                                    const TheoremOptions& options = {});
+
+/// P(all links in `links` congested) from a theorem result: product over
+/// correlation sets of the within-set superset sums (Theorem 1 delivers
+/// the probability of any set of links being congested).
+double joint_congested_prob(const TheoremResult& result,
+                            const corr::CorrelationSets& sets,
+                            const std::vector<graph::LinkId>& links);
+
+}  // namespace tomo::core

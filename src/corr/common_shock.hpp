@@ -1,0 +1,55 @@
+// Common-shock congestion model.
+//
+// Each correlation set C_p may carry a Bernoulli "shock" W_p (probability
+// rho_p) hitting a designated subset M_p of its members — the shared
+// resource failing, in the paper's physical-sharing story. Link k is
+// congested iff (k ∈ M_p and W_p = 1) or its private Bernoulli V_k fires:
+//
+//   X_k = (k ∈ M_p ∧ W_p) ∨ V_k,   V_k ~ Bern(base[k]) independent.
+//
+// Closed form:  P(all of L ⊆ C_p good)
+//             = Π_{k∈L}(1-base[k]) · (1 - rho_p·[L ∩ M_p ≠ ∅]).
+//
+// The scenario builder uses this model to realize "more than 2 / up to 2
+// congested links per correlation set" with controllable correlation
+// strength while hitting exact per-link marginals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/correlation.hpp"
+
+namespace tomo::corr {
+
+/// Per-set shock specification.
+struct Shock {
+  double rho = 0.0;                // P(shock fires)
+  std::vector<LinkId> members;     // M_p, subset of the correlation set
+};
+
+class CommonShockModel final : public CongestionModel {
+ public:
+  /// `base[k]` = P(V_k = 1); one Shock per correlation set (rho may be 0).
+  CommonShockModel(CorrelationSets sets, std::vector<double> base,
+                   std::vector<Shock> shocks);
+
+  const CorrelationSets& sets() const override { return sets_; }
+  std::vector<std::uint8_t> sample(Rng& rng) const override;
+  double within_set_all_good(
+      std::size_t set_index,
+      const std::vector<LinkId>& links_in_set) const override;
+
+  /// Chooses base[k] so that the marginal P(X_k=1) equals `target` given
+  /// the link's shock exposure: base = 1 - (1-target)/(1-rho) for exposed
+  /// links (requires target >= rho), base = target otherwise.
+  static double base_for_marginal(double target, double rho, bool exposed);
+
+ private:
+  CorrelationSets sets_;
+  std::vector<double> base_;
+  std::vector<Shock> shocks_;
+  std::vector<std::uint8_t> exposed_;  // link -> hit by its set's shock?
+};
+
+}  // namespace tomo::corr

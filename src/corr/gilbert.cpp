@@ -1,0 +1,103 @@
+#include "corr/gilbert.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tomo::corr {
+
+GilbertShockModel::GilbertShockModel(CorrelationSets sets,
+                                     std::vector<double> base,
+                                     std::vector<BurstyShock> shocks)
+    : sets_(std::move(sets)),
+      base_(std::move(base)),
+      shocks_(std::move(shocks)),
+      exposed_(sets_.link_count(), 0),
+      chain_(shocks_.size(), 2) {
+  TOMO_REQUIRE(base_.size() == sets_.link_count(),
+               "one base probability per link required");
+  TOMO_REQUIRE(shocks_.size() == sets_.set_count(),
+               "one bursty shock per correlation set required");
+  for (double b : base_) {
+    TOMO_REQUIRE(b >= 0.0 && b <= 1.0, "base probabilities must be in [0,1]");
+  }
+  for (std::size_t s = 0; s < shocks_.size(); ++s) {
+    BurstyShock& shock = shocks_[s];
+    TOMO_REQUIRE(shock.rho >= 0.0 && shock.rho < 1.0,
+                 "shock probability must be in [0,1)");
+    TOMO_REQUIRE(shock.burst_length >= 1.0,
+                 "mean burst length must be >= 1 snapshot");
+    std::sort(shock.members.begin(), shock.members.end());
+    for (LinkId link : shock.members) {
+      TOMO_REQUIRE(sets_.set_of(link) == s,
+                   "shock member outside its correlation set");
+      exposed_[link] = 1;
+    }
+  }
+}
+
+double GilbertShockModel::stay_on_prob(std::size_t set_index) const {
+  TOMO_REQUIRE(set_index < shocks_.size(), "set index out of range");
+  return 1.0 - 1.0 / shocks_[set_index].burst_length;
+}
+
+double GilbertShockModel::off_to_on_prob(std::size_t set_index) const {
+  TOMO_REQUIRE(set_index < shocks_.size(), "set index out of range");
+  const BurstyShock& shock = shocks_[set_index];
+  if (shock.rho <= 0.0) return 0.0;
+  // Stationarity: rho = q / (q + r) with r = P(on->off) = 1/burst_length,
+  // hence q = rho * r / (1 - rho).
+  const double r = 1.0 / shock.burst_length;
+  return std::min(1.0, shock.rho * r / (1.0 - shock.rho));
+}
+
+void GilbertShockModel::reset() const {
+  std::fill(chain_.begin(), chain_.end(), 2);
+}
+
+std::vector<std::uint8_t> GilbertShockModel::sample(Rng& rng) const {
+  std::vector<std::uint8_t> state(sets_.link_count(), 0);
+  for (std::size_t k = 0; k < base_.size(); ++k) {
+    state[k] = rng.bernoulli(base_[k]) ? 1 : 0;
+  }
+  for (std::size_t s = 0; s < shocks_.size(); ++s) {
+    const BurstyShock& shock = shocks_[s];
+    if (shock.rho <= 0.0 || shock.members.empty()) continue;
+    std::uint8_t& chain = chain_[s];
+    if (chain == 2) {
+      // First snapshot: draw from the stationary distribution.
+      chain = rng.bernoulli(shock.rho) ? 1 : 0;
+    } else if (chain == 1) {
+      chain = rng.bernoulli(stay_on_prob(s)) ? 1 : 0;
+    } else {
+      chain = rng.bernoulli(off_to_on_prob(s)) ? 1 : 0;
+    }
+    if (chain == 1) {
+      for (LinkId link : shock.members) {
+        state[link] = 1;
+      }
+    }
+  }
+  return state;
+}
+
+double GilbertShockModel::within_set_all_good(
+    std::size_t set_index, const std::vector<LinkId>& links_in_set) const {
+  // Per-snapshot marginal law = stationary chain + independent privates:
+  // identical to the memoryless common shock.
+  const BurstyShock& shock = shocks_[set_index];
+  double prob = 1.0;
+  bool touches_shock = false;
+  for (LinkId link : links_in_set) {
+    TOMO_REQUIRE(sets_.set_of(link) == set_index,
+                 "within_set_all_good: link outside the queried set");
+    prob *= 1.0 - base_[link];
+    touches_shock = touches_shock || exposed_[link];
+  }
+  if (touches_shock && !links_in_set.empty()) {
+    prob *= 1.0 - shock.rho;
+  }
+  return prob;
+}
+
+}  // namespace tomo::corr

@@ -1,0 +1,73 @@
+// Gilbert (bursty) congestion model.
+//
+// Real congestion is bursty: a shared resource that is congested in one
+// snapshot tends to stay congested for a while. The paper's Assumption 3
+// only requires *stationarity* — the marginal distribution per snapshot
+// must not drift — not independence across snapshots, and explicitly
+// defers non-stationary behaviour. This model makes that distinction
+// testable: each correlation set's shock is driven by a two-state Markov
+// chain (classic Gilbert model) with a configurable stationary probability
+// and mean burst length, and per-link private congestion stays i.i.d.
+//
+// The per-snapshot marginal law is identical to CommonShockModel with the
+// same parameters (the chain is started from its stationary distribution),
+// so all closed-form probability queries carry over; only the temporal
+// correlation differs. Estimators therefore remain consistent, just with
+// slower convergence — which bench/ablation_burstiness quantifies.
+//
+// sample() advances the hidden chains: calls must be sequential (one
+// experiment timeline per model instance); not thread-safe by design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/common_shock.hpp"
+#include "corr/correlation.hpp"
+
+namespace tomo::corr {
+
+/// Per-set bursty shock: stationary probability `rho` and mean burst
+/// length `burst_length` (in snapshots, >= 1). A memoryless Bernoulli(rho)
+/// shock corresponds to burst_length = 1/(1-rho); burst_length = 1 means
+/// every episode lasts exactly one snapshot.
+struct BurstyShock {
+  double rho = 0.0;
+  double burst_length = 1.0;
+  std::vector<LinkId> members;
+};
+
+class GilbertShockModel final : public CongestionModel {
+ public:
+  GilbertShockModel(CorrelationSets sets, std::vector<double> base,
+                    std::vector<BurstyShock> shocks);
+
+  const CorrelationSets& sets() const override { return sets_; }
+
+  /// Advances every set's chain by one snapshot and samples link states.
+  std::vector<std::uint8_t> sample(Rng& rng) const override;
+
+  double within_set_all_good(
+      std::size_t set_index,
+      const std::vector<LinkId>& links_in_set) const override;
+
+  /// Restarts all chains from the stationary distribution (drawn on the
+  /// next sample() call).
+  void reset() const;
+
+  /// P(stay congested) for a set's chain; exposed for tests.
+  double stay_on_prob(std::size_t set_index) const;
+  /// P(become congested | currently not) for a set's chain.
+  double off_to_on_prob(std::size_t set_index) const;
+
+ private:
+  CorrelationSets sets_;
+  std::vector<double> base_;
+  std::vector<BurstyShock> shocks_;
+  std::vector<std::uint8_t> exposed_;
+  // Chain state: 0 = off, 1 = on, 2 = not yet initialized. Mutable because
+  // sampling a stateful process advances it; see the header comment.
+  mutable std::vector<std::uint8_t> chain_;
+};
+
+}  // namespace tomo::corr

@@ -1,0 +1,92 @@
+#include "corr/identifiability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace tomo::corr {
+
+IdentifiabilityReport check_identifiability(
+    const graph::CoverageIndex& coverage, const CorrelationSets& sets,
+    std::size_t max_set_size, std::size_t max_collisions) {
+  TOMO_REQUIRE(coverage.link_count() == sets.link_count(),
+               "coverage index and correlation sets disagree on link count");
+  std::vector<CorrelationSubset> subsets =
+      enumerate_correlation_subsets(sets, max_set_size);
+
+  // Group subsets by their covered-path set; any bucket with two or more
+  // members is a violation of Assumption 4.
+  std::map<graph::PathIdSet, std::vector<std::size_t>> buckets;
+  std::vector<graph::PathIdSet> covered(subsets.size());
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    covered[i] = coverage.covered_paths(subsets[i].links);
+    buckets[covered[i]].push_back(i);
+  }
+
+  IdentifiabilityReport report;
+  std::unordered_set<LinkId> bad_links;
+  for (const auto& [paths, members] : buckets) {
+    if (members.size() < 2) continue;
+    report.holds = false;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (LinkId link : subsets[members[i]].links) {
+        bad_links.insert(link);
+      }
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (report.collisions.size() < max_collisions) {
+          report.collisions.push_back(
+              {subsets[members[i]], subsets[members[j]]});
+        }
+      }
+    }
+  }
+  report.unidentifiable_links.assign(bad_links.begin(), bad_links.end());
+  std::sort(report.unidentifiable_links.begin(),
+            report.unidentifiable_links.end());
+  return report;
+}
+
+std::vector<graph::NodeId> structurally_violating_nodes(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const CorrelationSets& sets) {
+  std::unordered_set<graph::NodeId> endpoints;
+  for (const graph::Path& p : paths) {
+    endpoints.insert(p.source());
+    endpoints.insert(p.destination());
+  }
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (endpoints.count(v)) continue;
+    const auto& in = g.in_links(v);
+    const auto& eg = g.out_links(v);
+    if (in.empty() || eg.empty()) continue;
+    bool uniform = true;
+    for (graph::LinkId id : in) {
+      uniform &= (sets.set_of(id) == sets.set_of(in[0]));
+    }
+    for (graph::LinkId id : eg) {
+      uniform &= (sets.set_of(id) == sets.set_of(eg[0]));
+    }
+    if (uniform) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<LinkId> structurally_unidentifiable_links(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const CorrelationSets& sets) {
+  std::unordered_set<LinkId> bad;
+  for (graph::NodeId v : structurally_violating_nodes(g, paths, sets)) {
+    for (graph::LinkId id : g.in_links(v)) bad.insert(id);
+    for (graph::LinkId id : g.out_links(v)) bad.insert(id);
+  }
+  std::vector<LinkId> out(bad.begin(), bad.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tomo::corr

@@ -1,0 +1,52 @@
+// Assumption-4 (identifiability) analysis.
+//
+// Exact check: enumerate C-tilde and find pairs of correlation subsets
+// covering exactly the same paths; links belonging to any colliding subset
+// are "unidentifiable" (paper §3.3). Structural check: the paper's local
+// criterion — an intermediate node whose ingress links all live in one
+// correlation set and whose egress links all live in one set forces a
+// collision between its ingress and egress subsets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/coverage.hpp"
+#include "graph/graph.hpp"
+
+namespace tomo::corr {
+
+struct SubsetCollision {
+  CorrelationSubset a;
+  CorrelationSubset b;
+};
+
+struct IdentifiabilityReport {
+  bool holds = true;                       // Assumption 4 holds
+  std::vector<SubsetCollision> collisions; // witnesses (possibly truncated)
+  std::vector<LinkId> unidentifiable_links;  // sorted, deduplicated
+};
+
+/// Exact enumeration check; cost is exponential in correlation-set size, so
+/// sets larger than `max_set_size` raise tomo::Error. `max_collisions`
+/// bounds the number of stored witnesses (the link set is still complete).
+IdentifiabilityReport check_identifiability(
+    const graph::CoverageIndex& coverage, const CorrelationSets& sets,
+    std::size_t max_set_size = 20, std::size_t max_collisions = 1000);
+
+/// Nodes matching the paper's structural violation criterion. Nodes that
+/// are endpoints of some path are exempt (their links' subsets also cover
+/// the endpoint path asymmetrically).
+std::vector<graph::NodeId> structurally_violating_nodes(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const CorrelationSets& sets);
+
+/// Links adjacent to any structurally violating node (a cheap, conservative
+/// under-approximation of the unidentifiable-link set usable on large
+/// correlation sets).
+std::vector<LinkId> structurally_unidentifiable_links(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const CorrelationSets& sets);
+
+}  // namespace tomo::corr

@@ -1,0 +1,67 @@
+#include "corr/model_factory.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tomo::corr {
+
+std::unique_ptr<IndependentModel> make_independent(
+    std::vector<double> congestion_prob) {
+  CorrelationSets sets = CorrelationSets::singletons(congestion_prob.size());
+  return std::make_unique<IndependentModel>(std::move(sets),
+                                            std::move(congestion_prob));
+}
+
+std::unique_ptr<CommonShockModel> make_clustered_shock_model(
+    const CorrelationSets& sets, const std::vector<LinkId>& congested_links,
+    const std::vector<double>& target_marginal, double correlation_strength) {
+  TOMO_REQUIRE(congested_links.size() == target_marginal.size(),
+               "one target marginal per congested link required");
+  TOMO_REQUIRE(correlation_strength >= 0.0 && correlation_strength < 1.0,
+               "correlation strength must be in [0,1)");
+
+  std::vector<double> marginal_of(sets.link_count(), 0.0);
+  std::vector<std::vector<LinkId>> per_set(sets.set_count());
+  for (std::size_t i = 0; i < congested_links.size(); ++i) {
+    const LinkId link = congested_links[i];
+    TOMO_REQUIRE(link < sets.link_count(), "congested link out of range");
+    TOMO_REQUIRE(marginal_of[link] == 0.0,
+                 "congested link listed twice");
+    TOMO_REQUIRE(target_marginal[i] > 0.0 && target_marginal[i] < 1.0,
+                 "target marginals must be in (0,1)");
+    marginal_of[link] = target_marginal[i];
+    per_set[sets.set_of(link)].push_back(link);
+  }
+
+  std::vector<Shock> shocks(sets.set_count());
+  std::vector<double> base(sets.link_count(), 0.0);
+  for (std::size_t s = 0; s < sets.set_count(); ++s) {
+    const auto& members = per_set[s];
+    double rho = 0.0;
+    if (members.size() >= 2 && correlation_strength > 0.0) {
+      double min_marginal = 1.0;
+      for (LinkId link : members) {
+        min_marginal = std::min(min_marginal, marginal_of[link]);
+      }
+      rho = correlation_strength * min_marginal;
+      shocks[s].rho = rho;
+      shocks[s].members = members;
+    }
+    for (LinkId link : members) {
+      base[link] = CommonShockModel::base_for_marginal(
+          marginal_of[link], rho, /*exposed=*/shocks[s].rho > 0.0);
+    }
+  }
+  return std::make_unique<CommonShockModel>(sets, std::move(base),
+                                            std::move(shocks));
+}
+
+std::unique_ptr<CrossSetShockModel> make_worm_model(
+    std::unique_ptr<CongestionModel> inner, std::vector<LinkId> targets,
+    double rho) {
+  return std::make_unique<CrossSetShockModel>(std::move(inner),
+                                              std::move(targets), rho);
+}
+
+}  // namespace tomo::corr

@@ -1,0 +1,55 @@
+#include "graph/coverage.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tomo::graph {
+
+CoverageIndex::CoverageIndex(const Graph& g, const std::vector<Path>& paths) {
+  paths_through_.resize(g.link_count());
+  path_links_.reserve(paths.size());
+  for (PathId pid = 0; pid < paths.size(); ++pid) {
+    path_links_.push_back(paths[pid].links());
+    for (LinkId link : paths[pid].links()) {
+      TOMO_REQUIRE(link < g.link_count(), "path references unknown link");
+      paths_through_[link].push_back(pid);
+    }
+  }
+  // Path ids are appended in increasing order, so each list is sorted and
+  // duplicate-free already (a path never repeats a link).
+}
+
+const PathIdSet& CoverageIndex::paths_through(LinkId link) const {
+  TOMO_REQUIRE(link < paths_through_.size(), "link id out of range");
+  return paths_through_[link];
+}
+
+const std::vector<LinkId>& CoverageIndex::links_of(PathId path) const {
+  TOMO_REQUIRE(path < path_links_.size(), "path id out of range");
+  return path_links_[path];
+}
+
+PathIdSet CoverageIndex::covered_paths(
+    const std::vector<LinkId>& links) const {
+  PathIdSet result;
+  for (LinkId link : links) {
+    result = path_set_union(result, paths_through(link));
+  }
+  return result;
+}
+
+bool CoverageIndex::all_links_covered() const {
+  return std::all_of(paths_through_.begin(), paths_through_.end(),
+                     [](const PathIdSet& s) { return !s.empty(); });
+}
+
+PathIdSet path_set_union(const PathIdSet& a, const PathIdSet& b) {
+  PathIdSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace tomo::graph

@@ -1,0 +1,47 @@
+// Path-coverage function ψ (paper Eq. 1) and the link/path incidence index.
+//
+// ψ(A) maps a set of links to the set of paths traversing at least one of
+// them. Identifiability (Assumption 4) and the theorem algorithm both hinge
+// on comparing ψ over correlation subsets, so covered-path sets are
+// represented as sorted PathId vectors usable as map keys.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace tomo::graph {
+
+/// A canonical (sorted, deduplicated) set of path ids; the value of ψ(A).
+using PathIdSet = std::vector<PathId>;
+
+class CoverageIndex {
+ public:
+  CoverageIndex(const Graph& g, const std::vector<Path>& paths);
+
+  std::size_t link_count() const { return paths_through_.size(); }
+  std::size_t path_count() const { return path_links_.size(); }
+
+  /// Paths traversing a single link, sorted ascending.
+  const PathIdSet& paths_through(LinkId link) const;
+
+  /// Links traversed by a path (in path order).
+  const std::vector<LinkId>& links_of(PathId path) const;
+
+  /// ψ(A): the union of paths_through(e) over e in `links`.
+  PathIdSet covered_paths(const std::vector<LinkId>& links) const;
+
+  /// True iff every link is traversed by at least one path.
+  bool all_links_covered() const;
+
+ private:
+  std::vector<PathIdSet> paths_through_;      // link -> sorted path ids
+  std::vector<std::vector<LinkId>> path_links_;  // path -> links
+};
+
+/// Set union of two canonical PathIdSets.
+PathIdSet path_set_union(const PathIdSet& a, const PathIdSet& b);
+
+}  // namespace tomo::graph

@@ -1,0 +1,63 @@
+#include "graph/graph.hpp"
+
+#include "util/error.hpp"
+
+namespace tomo::graph {
+
+NodeId Graph::add_node(std::string name) {
+  if (name.empty()) {
+    name = "v" + std::to_string(node_names_.size());
+  }
+  node_names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return node_names_.size() - 1;
+}
+
+LinkId Graph::add_link(NodeId src, NodeId dst) {
+  check_node(src);
+  check_node(dst);
+  TOMO_REQUIRE(src != dst, "self-loop links are not allowed");
+  links_.push_back(Link{src, dst});
+  const LinkId id = links_.size() - 1;
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+const Link& Graph::link(LinkId id) const {
+  TOMO_REQUIRE(id < links_.size(), "link id out of range");
+  return links_[id];
+}
+
+const std::string& Graph::node_name(NodeId id) const {
+  check_node(id);
+  return node_names_[id];
+}
+
+const std::vector<LinkId>& Graph::out_links(NodeId id) const {
+  check_node(id);
+  return out_[id];
+}
+
+const std::vector<LinkId>& Graph::in_links(NodeId id) const {
+  check_node(id);
+  return in_[id];
+}
+
+std::optional<LinkId> Graph::find_link(NodeId src, NodeId dst) const {
+  check_node(src);
+  check_node(dst);
+  for (LinkId id : out_[src]) {
+    if (links_[id].dst == dst) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+void Graph::check_node(NodeId id) const {
+  TOMO_REQUIRE(id < node_names_.size(), "node id out of range");
+}
+
+}  // namespace tomo::graph

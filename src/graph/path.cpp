@@ -1,0 +1,48 @@
+#include "graph/path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace tomo::graph {
+
+Path::Path(const Graph& g, std::vector<LinkId> links)
+    : links_(std::move(links)) {
+  TOMO_REQUIRE(!links_.empty(), "a path needs at least one link");
+  std::unordered_set<NodeId> seen_nodes;
+  std::unordered_set<LinkId> seen_links;
+  const Link& first = g.link(links_[0]);
+  source_ = first.src;
+  seen_nodes.insert(first.src);
+  NodeId cursor = first.src;
+  for (LinkId id : links_) {
+    const Link& link = g.link(id);
+    TOMO_REQUIRE(link.src == cursor, "path links are not contiguous");
+    TOMO_REQUIRE(seen_links.insert(id).second, "path repeats a link");
+    TOMO_REQUIRE(seen_nodes.insert(link.dst).second, "path repeats a node");
+    cursor = link.dst;
+  }
+  destination_ = cursor;
+}
+
+bool Path::traverses(LinkId link) const {
+  return std::find(links_.begin(), links_.end(), link) != links_.end();
+}
+
+void require_full_coverage(const Graph& g, const std::vector<Path>& paths) {
+  std::vector<bool> covered(g.link_count(), false);
+  for (const Path& path : paths) {
+    for (LinkId id : path.links()) {
+      covered[id] = true;
+    }
+  }
+  for (LinkId id = 0; id < covered.size(); ++id) {
+    if (!covered[id]) {
+      throw Error("link " + std::to_string(id) +
+                  " is not traversed by any path");
+    }
+  }
+}
+
+}  // namespace tomo::graph

@@ -1,0 +1,42 @@
+// Measured end-to-end paths.
+//
+// A path is a loop-free sequence of links whose end-to-end congestion
+// status can be observed (paper §2.1): contiguous, no repeated link, no
+// repeated node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tomo::graph {
+
+using PathId = std::size_t;
+
+class Path {
+ public:
+  /// Validates contiguity and loop-freedom against `g`; throws tomo::Error
+  /// on violation. The link list must be non-empty.
+  Path(const Graph& g, std::vector<LinkId> links);
+
+  const std::vector<LinkId>& links() const { return links_; }
+  std::size_t length() const { return links_.size(); }
+
+  NodeId source() const { return source_; }
+  NodeId destination() const { return destination_; }
+
+  bool traverses(LinkId link) const;
+
+ private:
+  std::vector<LinkId> links_;
+  NodeId source_;
+  NodeId destination_;
+};
+
+/// Checks the paper's structural preconditions for a measured system:
+/// every link participates in at least one path. Throws tomo::Error naming
+/// the first offending link otherwise.
+void require_full_coverage(const Graph& g, const std::vector<Path>& paths);
+
+}  // namespace tomo::graph

@@ -1,0 +1,40 @@
+// Plain-text serialization of measured systems (graph + paths + partition).
+//
+// Format (line-oriented, '#' comments allowed):
+//   tomo-topology v1
+//   node <id> <name>
+//   link <id> <src-node> <dst-node>
+//   path <id> <link-id>...
+//   corrset <id> <link-id>...
+// Ids must be dense and in order; this keeps the parser honest and the
+// files diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "graph/transform.hpp"
+
+namespace tomo::graph {
+
+struct MeasuredSystem {
+  Graph graph;
+  std::vector<Path> paths;
+  LinkPartition partition;  // may be empty (meaning: all singletons)
+};
+
+/// Writes the system in the v1 text format.
+void write_system(std::ostream& os, const MeasuredSystem& system);
+
+/// Parses the v1 text format; throws tomo::Error with a line number on any
+/// syntax or referential error.
+MeasuredSystem read_system(std::istream& is);
+
+/// Convenience round-trips through files.
+void save_system(const std::string& filename, const MeasuredSystem& system);
+MeasuredSystem load_system(const std::string& filename);
+
+}  // namespace tomo::graph

@@ -1,0 +1,220 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace tomo::graph {
+
+void require_partition(const Graph& g, const LinkPartition& partition) {
+  std::vector<int> seen(g.link_count(), 0);
+  for (const auto& cell : partition) {
+    TOMO_REQUIRE(!cell.empty(), "partition contains an empty cell");
+    for (LinkId id : cell) {
+      TOMO_REQUIRE(id < g.link_count(), "partition references unknown link");
+      TOMO_REQUIRE(seen[id] == 0, "partition assigns a link twice");
+      seen[id] = 1;
+    }
+  }
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    TOMO_REQUIRE(seen[id] == 1,
+                 "partition misses link " + std::to_string(id));
+  }
+}
+
+namespace {
+
+// Working representation: everything indexed by "current link index", with
+// node ids stable throughout (a removed node simply loses all its links).
+struct Work {
+  std::vector<Link> links;
+  std::vector<std::vector<std::size_t>> paths;        // link indices
+  std::vector<std::size_t> cell_of;                   // link -> cell id
+  std::vector<std::vector<LinkId>> composition;       // link -> originals
+  std::size_t cell_count = 0;
+};
+
+/// Finds a node whose ingress links all share one cell and egress links all
+/// share one cell, and which is not a path endpoint. Returns node or npos.
+std::size_t find_mergeable(const Work& w, std::size_t node_count,
+                           const std::unordered_set<NodeId>& endpoints) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> in(node_count), out(node_count);
+  for (std::size_t i = 0; i < w.links.size(); ++i) {
+    out[w.links[i].src].push_back(i);
+    in[w.links[i].dst].push_back(i);
+  }
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (endpoints.count(v)) continue;
+    if (in[v].empty() || out[v].empty()) continue;
+    const std::size_t in_cell = w.cell_of[in[v][0]];
+    const std::size_t out_cell = w.cell_of[out[v][0]];
+    bool uniform = true;
+    for (std::size_t i : in[v]) uniform &= (w.cell_of[i] == in_cell);
+    for (std::size_t i : out[v]) uniform &= (w.cell_of[i] == out_cell);
+    if (uniform) return v;
+  }
+  return npos;
+}
+
+/// Removes node v from the working set, replacing each (in-link, out-link)
+/// pair used by a path with a merged link, and fusing the two cells.
+void merge_at(Work& w, NodeId v) {
+  const std::size_t old_count = w.links.size();
+
+  // Identify the fused cell: union of the ingress cell and egress cell.
+  std::size_t in_cell = static_cast<std::size_t>(-1);
+  std::size_t out_cell = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < old_count; ++i) {
+    if (w.links[i].dst == v) in_cell = w.cell_of[i];
+    if (w.links[i].src == v) out_cell = w.cell_of[i];
+  }
+  TOMO_ASSERT(in_cell != static_cast<std::size_t>(-1));
+  TOMO_ASSERT(out_cell != static_cast<std::size_t>(-1));
+  const std::size_t fused = std::min(in_cell, out_cell);
+  const std::size_t absorbed = std::max(in_cell, out_cell);
+
+  // Create merged links lazily, one per (in-link, out-link) pair that some
+  // path actually traverses.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> merged_ids;
+  std::vector<Link> new_links = w.links;
+  std::vector<std::size_t> new_cells = w.cell_of;
+  std::vector<std::vector<LinkId>> new_comp = w.composition;
+  auto merged_link = [&](std::size_t a, std::size_t b) {
+    auto it = merged_ids.find({a, b});
+    if (it != merged_ids.end()) return it->second;
+    new_links.push_back(Link{w.links[a].src, w.links[b].dst});
+    new_cells.push_back(fused);
+    std::vector<LinkId> comp = w.composition[a];
+    comp.insert(comp.end(), w.composition[b].begin(),
+                w.composition[b].end());
+    new_comp.push_back(std::move(comp));
+    const std::size_t id = new_links.size() - 1;
+    merged_ids.emplace(std::make_pair(a, b), id);
+    return id;
+  };
+
+  // Rewrite paths: each passage through v pairs the arriving link with the
+  // departing link.
+  for (auto& path : w.paths) {
+    std::vector<std::size_t> rewritten;
+    rewritten.reserve(path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const std::size_t id = path[i];
+      if (w.links[id].dst == v) {
+        TOMO_ASSERT(i + 1 < path.size());  // v is not an endpoint
+        TOMO_ASSERT(w.links[path[i + 1]].src == v);
+        rewritten.push_back(merged_link(id, path[i + 1]));
+        ++i;  // consume the departing link as well
+      } else {
+        TOMO_ASSERT(w.links[id].src != v || i == 0);
+        rewritten.push_back(id);
+      }
+    }
+    path = std::move(rewritten);
+  }
+
+  // Drop links adjacent to v and compact indices.
+  std::vector<std::size_t> remap(new_links.size(),
+                                 static_cast<std::size_t>(-1));
+  Work next;
+  next.cell_count = w.cell_count;
+  for (std::size_t i = 0; i < new_links.size(); ++i) {
+    if (new_links[i].src == v || new_links[i].dst == v) continue;
+    remap[i] = next.links.size();
+    next.links.push_back(new_links[i]);
+    std::size_t cell = new_cells[i];
+    if (cell == absorbed) cell = fused;
+    next.cell_of.push_back(cell);
+    next.composition.push_back(std::move(new_comp[i]));
+  }
+  next.paths.reserve(w.paths.size());
+  for (const auto& path : w.paths) {
+    std::vector<std::size_t> mapped;
+    mapped.reserve(path.size());
+    for (std::size_t id : path) {
+      TOMO_ASSERT(remap[id] != static_cast<std::size_t>(-1));
+      mapped.push_back(remap[id]);
+    }
+    next.paths.push_back(std::move(mapped));
+  }
+  w = std::move(next);
+}
+
+}  // namespace
+
+MergeResult merge_indistinguishable(const Graph& g,
+                                    const std::vector<Path>& paths,
+                                    const LinkPartition& partition) {
+  require_partition(g, partition);
+
+  Work w;
+  w.links.reserve(g.link_count());
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    w.links.push_back(g.link(id));
+    w.composition.push_back({id});
+  }
+  w.cell_of.assign(g.link_count(), 0);
+  for (std::size_t cell = 0; cell < partition.size(); ++cell) {
+    for (LinkId id : partition[cell]) {
+      w.cell_of[id] = cell;
+    }
+  }
+  w.cell_count = partition.size();
+  for (const Path& p : paths) {
+    w.paths.emplace_back(p.links().begin(), p.links().end());
+  }
+
+  std::unordered_set<NodeId> endpoints;
+  for (const Path& p : paths) {
+    endpoints.insert(p.source());
+    endpoints.insert(p.destination());
+  }
+
+  MergeResult result;
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  for (;;) {
+    const std::size_t v = find_mergeable(w, g.node_count(), endpoints);
+    if (v == npos) break;
+    merge_at(w, v);
+    result.removed_nodes.push_back(v);
+    ++result.merge_rounds;
+  }
+
+  // Drop links no path uses (can appear when an unused link was adjacent to
+  // nothing mergeable), then materialize the result.
+  std::vector<bool> used(w.links.size(), false);
+  for (const auto& path : w.paths) {
+    for (std::size_t id : path) used[id] = true;
+  }
+  std::vector<std::size_t> remap(w.links.size(), npos);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    result.graph.add_node(g.node_name(v));
+  }
+  std::vector<std::size_t> final_cell;
+  for (std::size_t i = 0; i < w.links.size(); ++i) {
+    if (!used[i]) continue;
+    remap[i] = result.graph.add_link(w.links[i].src, w.links[i].dst);
+    result.composition.push_back(w.composition[i]);
+    final_cell.push_back(w.cell_of[i]);
+  }
+  for (const auto& path : w.paths) {
+    std::vector<LinkId> links;
+    links.reserve(path.size());
+    for (std::size_t id : path) links.push_back(remap[id]);
+    result.paths.emplace_back(result.graph, std::move(links));
+  }
+  // Compact the partition: cells in first-seen order, empties dropped.
+  std::map<std::size_t, std::size_t> cell_remap;
+  for (std::size_t i = 0; i < final_cell.size(); ++i) {
+    auto [it, inserted] =
+        cell_remap.emplace(final_cell[i], result.partition.size());
+    if (inserted) result.partition.emplace_back();
+    result.partition[it->second].push_back(i);
+  }
+  return result;
+}
+
+}  // namespace tomo::graph

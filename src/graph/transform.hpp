@@ -1,0 +1,45 @@
+// The link-merge transformation of paper §3.3.
+//
+// When an intermediate node has all its ingress links inside one partition
+// cell and all its egress links inside one cell, the correlation subsets
+// formed by those links cover exactly the same paths and Assumption 4
+// fails. The paper's remedy removes such a node and replaces each
+// (ingress, egress) pair traversed by a path with a single merged link; the
+// two cells fuse. The result is a coarser but identifiable topology.
+//
+// The transformation is expressed over an arbitrary link partition so the
+// graph layer stays independent of the correlation layer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace tomo::graph {
+
+using LinkPartition = std::vector<std::vector<LinkId>>;
+
+struct MergeResult {
+  Graph graph;                 // transformed graph
+  std::vector<Path> paths;     // rewritten paths (same order as input)
+  LinkPartition partition;     // transformed partition
+  // For each new link, the original links it is composed of (in path
+  // order for merged links; a single element for untouched links).
+  std::vector<std::vector<LinkId>> composition;
+  // Names of removed nodes (diagnostic).
+  std::vector<NodeId> removed_nodes;
+  std::size_t merge_rounds = 0;
+};
+
+/// Validates that `partition` is a partition of the links of `g`.
+void require_partition(const Graph& g, const LinkPartition& partition);
+
+/// Applies the merge transformation to fixpoint. Links not traversed by
+/// any path are dropped. Path endpoints are never removed.
+MergeResult merge_indistinguishable(const Graph& g,
+                                    const std::vector<Path>& paths,
+                                    const LinkPartition& partition);
+
+}  // namespace tomo::graph

@@ -1,0 +1,26 @@
+// Non-negative least squares (Lawson-Hanson active-set method).
+//
+// Used to solve the rank-deficient tomography systems: with the
+// substitution u = -x (x are log-probabilities, hence <= 0), the system
+// A x = y becomes A u = -y with u >= 0, and NNLS both honours the sign
+// constraint and yields sparse minimum-ish solutions, which is the effect
+// the paper's "minimize the L1 norm error" fallback is after.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace tomo::linalg {
+
+struct NnlsResult {
+  Vector x;              // the non-negative solution
+  double residual_norm;  // ||A x - b||_2
+  std::size_t iterations;
+  bool converged;  // false if the iteration cap was hit
+};
+
+/// Solves min ||A x - b||_2 subject to x >= 0.
+/// `max_iterations` defaults to 3 * cols, which is ample in practice.
+NnlsResult nnls(const Matrix& a, const Vector& b,
+                std::size_t max_iterations = 0, double tol = 1e-10);
+
+}  // namespace tomo::linalg

@@ -1,0 +1,146 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tomo::linalg {
+
+QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  const std::size_t steps = std::min(m, n);
+  tau_.assign(steps, 0.0);
+  rdiag_.assign(steps, 0.0);
+  perm_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) perm_[j] = j;
+
+  // Column squared norms for pivot selection, downdated as we go.
+  Vector colnorm(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = qr_.row_data(r);
+    for (std::size_t c = 0; c < n; ++c) colnorm[c] += row[c] * row[c];
+  }
+
+  auto swap_columns = [&](std::size_t a_col, std::size_t b_col) {
+    if (a_col == b_col) return;
+    for (std::size_t r = 0; r < m; ++r) {
+      std::swap(qr_(r, a_col), qr_(r, b_col));
+    }
+    std::swap(colnorm[a_col], colnorm[b_col]);
+    std::swap(perm_[a_col], perm_[b_col]);
+  };
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    // Pivot: bring the column with the largest remaining norm to position k.
+    std::size_t pivot = k;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      if (colnorm[j] > colnorm[pivot]) pivot = j;
+    }
+    swap_columns(k, pivot);
+
+    // Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t r = k; r < m; ++r) {
+      norm += qr_(r, k) * qr_(r, k);
+    }
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau_[k] = 0.0;
+      rdiag_[k] = 0.0;
+      continue;
+    }
+    double alpha = qr_(k, k) >= 0 ? -norm : norm;
+    // v = x - alpha e1, stored in-place below the diagonal with v[0]
+    // normalized to 1 implicitly via tau.
+    const double vkk = qr_(k, k) - alpha;
+    qr_(k, k) = vkk;
+    tau_[k] = -vkk / alpha;  // tau = 2 / (v^T v) * vkk^2-normalized form
+    rdiag_[k] = alpha;
+
+    // Normalize v so v[0] = 1 (divide rows k+1.. by vkk).
+    if (vkk != 0.0) {
+      for (std::size_t r = k + 1; r < m; ++r) {
+        qr_(r, k) /= vkk;
+      }
+    }
+
+    // Apply the reflection to the trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t r = k + 1; r < m; ++r) {
+        s += qr_(r, k) * qr_(r, j);
+      }
+      s *= tau_[k];
+      qr_(k, j) -= s;
+      for (std::size_t r = k + 1; r < m; ++r) {
+        qr_(r, j) -= s * qr_(r, k);
+      }
+      // Downdate the column norm (re-computed exactly when it drifts).
+      const double t = qr_(k, j);
+      colnorm[j] -= t * t;
+      if (colnorm[j] < 0.0) colnorm[j] = 0.0;
+    }
+    colnorm[k] = 0.0;
+  }
+}
+
+std::size_t QrDecomposition::rank(double rel_tol) const {
+  if (rdiag_.empty()) return 0;
+  const double threshold = std::abs(rdiag_[0]) * rel_tol;
+  std::size_t r = 0;
+  while (r < rdiag_.size() && std::abs(rdiag_[r]) > threshold) {
+    ++r;
+  }
+  return r;
+}
+
+Vector QrDecomposition::apply_qt(Vector v) const {
+  const std::size_t m = qr_.rows();
+  TOMO_REQUIRE(v.size() == m, "QR solve: rhs length mismatch");
+  for (std::size_t k = 0; k < tau_.size(); ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = v[k];
+    for (std::size_t r = k + 1; r < m; ++r) {
+      s += qr_(r, k) * v[r];
+    }
+    s *= tau_[k];
+    v[k] -= s;
+    for (std::size_t r = k + 1; r < m; ++r) {
+      v[r] -= s * qr_(r, k);
+    }
+  }
+  return v;
+}
+
+Vector QrDecomposition::solve(const Vector& b, double rel_tol) const {
+  const std::size_t n = qr_.cols();
+  const std::size_t r = rank(rel_tol);
+  Vector qtb = apply_qt(b);
+
+  // Back-substitution on the leading r x r block of R.
+  Vector z(n, 0.0);
+  for (std::size_t i = r; i-- > 0;) {
+    double sum = qtb[i];
+    for (std::size_t j = i + 1; j < r; ++j) {
+      sum -= qr_(i, j) * z[j];
+    }
+    const double diag = (i < rdiag_.size()) ? rdiag_[i] : 0.0;
+    TOMO_ASSERT(diag != 0.0);
+    z[i] = sum / diag;
+  }
+
+  // Undo the column permutation.
+  Vector x(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[perm_[j]] = z[j];
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b, double rel_tol) {
+  return QrDecomposition(a).solve(b, rel_tol);
+}
+
+}  // namespace tomo::linalg

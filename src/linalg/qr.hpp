@@ -1,0 +1,42 @@
+// Householder QR factorization with column pivoting, plus least-squares
+// solving. This is the workhorse for the well-determined tomography systems.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tomo::linalg {
+
+/// QR factorization A P = Q R computed with Householder reflections and
+/// column pivoting (so rank-deficient systems are handled gracefully).
+class QrDecomposition {
+ public:
+  /// Factorizes `a` (rows >= 0, any shape).
+  explicit QrDecomposition(const Matrix& a);
+
+  /// Numerical rank at the given relative tolerance.
+  std::size_t rank(double rel_tol = 1e-10) const;
+
+  /// Minimum-norm-ish least-squares solution of A x ~= b: basic solution
+  /// with zeros in the columns beyond the numerical rank.
+  Vector solve(const Vector& b, double rel_tol = 1e-10) const;
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+ private:
+  /// Applies Q^T to a vector of length rows().
+  Vector apply_qt(Vector v) const;
+
+  Matrix qr_;                     // packed Householder vectors + R
+  Vector tau_;                    // Householder scalars
+  Vector rdiag_;                  // diagonal of R (|.| decreasing)
+  std::vector<std::size_t> perm_; // column permutation: A[:, perm[j]] ~ col j
+};
+
+/// Convenience one-shot least squares; returns x minimizing ||A x - b||_2.
+Vector least_squares(const Matrix& a, const Vector& b, double rel_tol = 1e-10);
+
+}  // namespace tomo::linalg

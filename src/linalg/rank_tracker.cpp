@@ -1,0 +1,67 @@
+#include "linalg/rank_tracker.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tomo::linalg {
+
+namespace {
+// 0/1 incidence rows keep entries O(1), so an absolute tolerance is sound.
+constexpr double kTol = 1e-9;
+}  // namespace
+
+RankTracker::RankTracker(std::size_t dim) : dim_(dim) {
+  TOMO_REQUIRE(dim > 0, "rank tracker needs a positive dimension");
+}
+
+std::size_t RankTracker::reduce(Vector& row) const {
+  // Basis rows are in echelon form: a row's pivot column is its smallest
+  // "owned" column, and subtracting it only perturbs columns >= that pivot.
+  // Sweeping pivots in ascending column order therefore zeroes every pivot
+  // column of `row` in a single pass.
+  for (const auto& [pivot_col, basis_row] : basis_) {
+    const double coeff = row[pivot_col];
+    if (std::abs(coeff) <= kTol) continue;
+    for (std::size_t c = pivot_col; c < dim_; ++c) {
+      row[c] -= coeff * basis_row[c];
+    }
+    row[pivot_col] = 0.0;
+  }
+  // The pivot must be the row's first non-negligible entry: the echelon
+  // invariant (a basis row is zero before its pivot column) is what makes
+  // the single ascending sweep above correct.
+  for (std::size_t c = 0; c < dim_; ++c) {
+    if (std::abs(row[c]) > kTol) {
+      return c;
+    }
+  }
+  return dim_;
+}
+
+bool RankTracker::try_add_dense(const Vector& row) {
+  TOMO_REQUIRE(row.size() == dim_, "rank tracker row width mismatch");
+  if (full_rank()) return false;
+  Vector reduced = row;
+  const std::size_t pivot = reduce(reduced);
+  if (pivot == dim_) return false;
+  const double scale = reduced[pivot];
+  for (double& v : reduced) v /= scale;
+  // Entries before the pivot are below tolerance by construction; zero them
+  // exactly so the echelon invariant holds bit-for-bit.
+  for (std::size_t c = 0; c < pivot; ++c) reduced[c] = 0.0;
+  basis_.emplace(pivot, std::move(reduced));
+  return true;
+}
+
+bool RankTracker::try_add_ones(const std::vector<std::size_t>& one_indices) {
+  Vector row(dim_, 0.0);
+  for (std::size_t idx : one_indices) {
+    TOMO_REQUIRE(idx < dim_, "rank tracker index out of range");
+    TOMO_REQUIRE(row[idx] == 0.0, "duplicate index in 0/1 row");
+    row[idx] = 1.0;
+  }
+  return try_add_dense(row);
+}
+
+}  // namespace tomo::linalg

@@ -1,0 +1,44 @@
+// Incremental row-space rank tracking.
+//
+// The tomography equation builder streams thousands of candidate equations
+// (0/1 link-incidence rows) and must keep only rows that increase the rank
+// of the system. RankTracker maintains a row-echelon basis keyed by pivot
+// column so each candidate costs one elimination sweep, and accepted rows
+// cost only an O(dim) insert.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace tomo::linalg {
+
+class RankTracker {
+ public:
+  explicit RankTracker(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t rank() const { return basis_.size(); }
+  bool full_rank() const { return rank() == dim_; }
+
+  /// Returns true (and absorbs the row into the basis) iff the sparse 0/1
+  /// row with ones at `one_indices` is linearly independent of the rows
+  /// accepted so far. Duplicate indices in the input are an error.
+  bool try_add_ones(const std::vector<std::size_t>& one_indices);
+
+  /// Same for a general dense row.
+  bool try_add_dense(const Vector& row);
+
+ private:
+  /// Reduces `row` in place against the basis; returns the pivot column of
+  /// the residue (max-|.| entry) or dim_ if the residue is negligible.
+  std::size_t reduce(Vector& row) const;
+
+  std::size_t dim_;
+  // pivot column -> reduced basis row (pivot entry normalized to 1).
+  std::map<std::size_t, Vector> basis_;
+};
+
+}  // namespace tomo::linalg

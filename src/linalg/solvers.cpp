@@ -1,0 +1,88 @@
+#include "linalg/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "linalg/irls.hpp"
+#include "linalg/nnls.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/simplex.hpp"
+#include "util/error.hpp"
+
+namespace tomo::linalg {
+
+SolverKind solver_kind_from_string(const std::string& name) {
+  if (name == "ls") return SolverKind::kLeastSquares;
+  if (name == "nnls") return SolverKind::kNnls;
+  if (name == "l1lp") return SolverKind::kL1Lp;
+  if (name == "irls") return SolverKind::kIrls;
+  throw Error("unknown solver '" + name + "' (expected ls|nnls|l1lp|irls)");
+}
+
+std::string to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kLeastSquares: return "ls";
+    case SolverKind::kNnls: return "nnls";
+    case SolverKind::kL1Lp: return "l1lp";
+    case SolverKind::kIrls: return "irls";
+  }
+  return "?";
+}
+
+LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
+                                   SolverKind kind) {
+  TOMO_REQUIRE(y.size() == a.rows(), "solve_log_system: rhs length mismatch");
+  for (double v : y) {
+    TOMO_REQUIRE(std::isfinite(v), "solve_log_system: non-finite rhs entry");
+  }
+
+  // u = -x >= 0, b = -y >= 0.
+  Vector b(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) b[i] = -y[i];
+
+  LogSystemSolution out;
+  std::ostringstream detail;
+  Vector u;
+
+  switch (kind) {
+    case SolverKind::kLeastSquares: {
+      u = least_squares(a, b);
+      detail << "qr-ls";
+      break;
+    }
+    case SolverKind::kNnls: {
+      NnlsResult r = nnls(a, b);
+      u = std::move(r.x);
+      detail << "nnls iters=" << r.iterations
+             << (r.converged ? "" : " (iteration cap)");
+      break;
+    }
+    case SolverKind::kL1Lp: {
+      L1Result r = l1_regression(a, b);
+      u = std::move(r.x);
+      detail << "l1lp obj=" << r.objective
+             << (r.optimal ? "" : " (not proven optimal)");
+      break;
+    }
+    case SolverKind::kIrls: {
+      IrlsResult r = irls_l1(a, b);
+      u = std::move(r.x);
+      detail << "irls iters=" << r.iterations
+             << (r.converged ? "" : " (iteration cap)");
+      break;
+    }
+  }
+
+  // Back-substitute and clamp to the feasible domain (log-probabilities of
+  // "good" are <= 0).
+  out.x.resize(u.size());
+  for (std::size_t j = 0; j < u.size(); ++j) {
+    out.x[j] = -std::max(0.0, u[j]);
+  }
+  out.residual_norm2 = norm2(residual(a, out.x, y));
+  out.detail = detail.str();
+  return out;
+}
+
+}  // namespace tomo::linalg

@@ -1,0 +1,40 @@
+// Unified front end for solving the tomography log-domain linear system.
+//
+// The system is  A x = y  where rows of A are 0/1 link-incidence vectors,
+// y_i = log P(paths of equation i all good) <= 0, and the unknowns
+// x_k = log P(link k good) are constrained to x <= 0.
+//
+// Internally we substitute u = -x >= 0 and b = -y >= 0 so every solver
+// works on a non-negative problem.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace tomo::linalg {
+
+enum class SolverKind {
+  kLeastSquares,  // QR least squares, then clamp to the feasible sign
+  kNnls,          // Lawson-Hanson non-negative least squares (default)
+  kL1Lp,          // exact L1 via simplex LP (small/medium systems)
+  kIrls,          // IRLS approximation of L1
+};
+
+/// Parses "ls" | "nnls" | "l1lp" | "irls"; throws tomo::Error otherwise.
+SolverKind solver_kind_from_string(const std::string& name);
+std::string to_string(SolverKind kind);
+
+struct LogSystemSolution {
+  Vector x;               // log P(link good), entries <= 0
+  double residual_norm2;  // ||A x - y||_2 over the given equations
+  std::string detail;     // solver-specific notes (iterations, status)
+};
+
+/// Solves A x = y with x <= 0 using the requested solver. `y` entries must
+/// be finite and <= 0 (equations with unusable measurements should have
+/// been dropped by the caller).
+LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
+                                   SolverKind kind = SolverKind::kNnls);
+
+}  // namespace tomo::linalg

@@ -1,0 +1,41 @@
+#include "metrics/cdf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tomo::metrics {
+
+std::vector<CdfPoint> cdf_series(const std::vector<double>& samples,
+                                 double x_max, std::size_t points) {
+  TOMO_REQUIRE(points >= 2, "cdf series needs at least two points");
+  TOMO_REQUIRE(x_max > 0.0, "cdf range must be positive");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> series;
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        x_max * static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    const double frac =
+        sorted.empty()
+            ? 0.0
+            : static_cast<double>(it - sorted.begin()) /
+                  static_cast<double>(sorted.size());
+    series.push_back({x, 100.0 * frac});
+  }
+  return series;
+}
+
+double cdf_at(const std::vector<double>& samples, double x) {
+  if (samples.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : samples) {
+    if (v <= x) ++count;
+  }
+  return 100.0 * static_cast<double>(count) /
+         static_cast<double>(samples.size());
+}
+
+}  // namespace tomo::metrics

@@ -1,0 +1,23 @@
+// Empirical CDF series for the figure reproductions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tomo::metrics {
+
+struct CdfPoint {
+  double x;        // error threshold
+  double percent;  // % of samples with value <= x
+};
+
+/// Evaluates the empirical CDF of `samples` on an evenly spaced grid of
+/// `points` thresholds spanning [0, x_max]. Matches the paper's plots of
+/// "CDF (% of potentially congested links)" vs absolute error.
+std::vector<CdfPoint> cdf_series(const std::vector<double>& samples,
+                                 double x_max = 1.0, std::size_t points = 21);
+
+/// Fraction (in %) of samples with value <= x.
+double cdf_at(const std::vector<double>& samples, double x);
+
+}  // namespace tomo::metrics

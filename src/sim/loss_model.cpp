@@ -1,0 +1,25 @@
+#include "sim/loss_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tomo::sim {
+
+LossModel::LossModel(double tl) : tl_(tl) {
+  TOMO_REQUIRE(tl > 0.0 && tl < 1.0, "link threshold tl must be in (0,1)");
+}
+
+double LossModel::sample_loss_rate(Rng& rng, bool congested) const {
+  if (congested) {
+    return rng.uniform(tl_, 1.0);
+  }
+  return rng.uniform(0.0, tl_);
+}
+
+double LossModel::path_threshold(std::size_t length) const {
+  TOMO_REQUIRE(length > 0, "path threshold of an empty path");
+  return 1.0 - std::pow(1.0 - tl_, static_cast<double>(length));
+}
+
+}  // namespace tomo::sim

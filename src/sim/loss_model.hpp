@@ -1,0 +1,31 @@
+// Packet-loss model (paper §5, following Padmanabhan et al. [13]).
+//
+// Good links draw a per-snapshot loss rate uniformly from (0, tl]; congested
+// links from (tl, 1]. A path of d links is flagged congested when its
+// measured loss rate exceeds tp = 1 - (1 - tl)^d (paper §2.1), with
+// tl = 0.01 by default as proposed by Duffield [10].
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace tomo::sim {
+
+class LossModel {
+ public:
+  explicit LossModel(double tl = 0.01);
+
+  double tl() const { return tl_; }
+
+  /// Per-snapshot loss rate of a link with the given congestion status.
+  double sample_loss_rate(Rng& rng, bool congested) const;
+
+  /// Path congestion threshold tp for a path of `length` links.
+  double path_threshold(std::size_t length) const;
+
+ private:
+  double tl_;
+};
+
+}  // namespace tomo::sim

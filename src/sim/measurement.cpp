@@ -1,0 +1,29 @@
+#include "sim/measurement.hpp"
+
+namespace tomo::sim {
+
+EmpiricalMeasurement::EmpiricalMeasurement(const PathObservations& obs)
+    : obs_(obs) {}
+
+double EmpiricalMeasurement::all_good_prob(
+    const std::vector<PathId>& paths) const {
+  if (paths.empty()) return 1.0;
+  std::size_t count;
+  if (paths.size() == 1) {
+    count = obs_.good_count(paths[0]);
+  } else if (paths.size() == 2) {
+    count = obs_.both_good_count(paths[0], paths[1]);
+  } else {
+    count = obs_.all_good_count(paths);
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(obs_.snapshot_count());
+}
+
+double EmpiricalMeasurement::exact_pattern_prob(
+    const PathIdSet& pattern) const {
+  return static_cast<double>(obs_.exact_pattern_count(pattern)) /
+         static_cast<double>(obs_.snapshot_count());
+}
+
+}  // namespace tomo::sim

@@ -1,0 +1,55 @@
+// Measurement providers: the algorithms' only window onto the network.
+//
+// Both tomography algorithms consume probabilities of path-set goodness;
+// the theorem algorithm additionally consumes exact congested-path-pattern
+// probabilities. MeasurementProvider abstracts over where those numbers
+// come from: empirical snapshot counts (EmpiricalMeasurement) or the exact
+// ground-truth model (OracleMeasurement in oracle.hpp), which isolates
+// algorithmic error from sampling error in tests and ablations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/coverage.hpp"
+#include "sim/snapshot.hpp"
+
+namespace tomo::sim {
+
+class MeasurementProvider {
+ public:
+  virtual ~MeasurementProvider() = default;
+
+  virtual std::size_t path_count() const = 0;
+
+  /// P(every path in `paths` is good); 1 for the empty set.
+  virtual double all_good_prob(const std::vector<PathId>& paths) const = 0;
+
+  /// P(the congested-path set is exactly `pattern`).
+  virtual double exact_pattern_prob(const PathIdSet& pattern) const = 0;
+
+  /// Number of snapshots backing the estimates (0 = exact oracle).
+  virtual std::size_t sample_count() const = 0;
+
+  double good_prob(PathId p) const { return all_good_prob({p}); }
+  double pair_good_prob(PathId a, PathId b) const {
+    return all_good_prob({a, b});
+  }
+};
+
+/// Estimates from bit-packed snapshot observations.
+class EmpiricalMeasurement final : public MeasurementProvider {
+ public:
+  /// Keeps a reference; `obs` must outlive the measurement.
+  explicit EmpiricalMeasurement(const PathObservations& obs);
+
+  std::size_t path_count() const override { return obs_.path_count(); }
+  double all_good_prob(const std::vector<PathId>& paths) const override;
+  double exact_pattern_prob(const PathIdSet& pattern) const override;
+  std::size_t sample_count() const override { return obs_.snapshot_count(); }
+
+ private:
+  const PathObservations& obs_;
+};
+
+}  // namespace tomo::sim

@@ -1,0 +1,28 @@
+// Text serialization of path observations.
+//
+// Lets a deployment decouple measurement from inference: the prober
+// records one congested/good bit per (path, snapshot) and ships the file;
+// `tomo_cli infer` consumes it later. Format (line oriented, '#'
+// comments):
+//
+//   tomo-observations v1
+//   paths <P> snapshots <N>
+//   congested <path-id> <snapshot-id>...   # one line per path with >=1
+//                                          # congested snapshot
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/snapshot.hpp"
+
+namespace tomo::sim {
+
+void write_observations(std::ostream& os, const PathObservations& obs);
+PathObservations read_observations(std::istream& is);
+
+void save_observations(const std::string& filename,
+                       const PathObservations& obs);
+PathObservations load_observations(const std::string& filename);
+
+}  // namespace tomo::sim

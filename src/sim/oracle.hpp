@@ -1,0 +1,36 @@
+// Oracle measurement: exact probabilities straight from the ground-truth
+// model, under the separability assumption (a path is good iff all its
+// links are). Removes both packet-sampling and snapshot-sampling noise, so
+// tests can check algorithms against exact identities and ablations can
+// separate estimation error from inference error.
+#pragma once
+
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/coverage.hpp"
+#include "sim/measurement.hpp"
+
+namespace tomo::sim {
+
+class OracleMeasurement final : public MeasurementProvider {
+ public:
+  /// Keeps references; both must outlive the oracle. `max_total_links`
+  /// guards exact_pattern_prob(), whose state enumeration is exponential in
+  /// the number of links.
+  OracleMeasurement(const corr::CongestionModel& model,
+                    const graph::CoverageIndex& coverage,
+                    std::size_t max_total_links = 24);
+
+  std::size_t path_count() const override { return coverage_.path_count(); }
+  double all_good_prob(const std::vector<PathId>& paths) const override;
+  double exact_pattern_prob(const PathIdSet& pattern) const override;
+  std::size_t sample_count() const override { return 0; }
+
+ private:
+  const corr::CongestionModel& model_;
+  const graph::CoverageIndex& coverage_;
+  std::size_t max_total_links_;
+};
+
+}  // namespace tomo::sim

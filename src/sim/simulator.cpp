@@ -1,0 +1,89 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace tomo::sim {
+
+SimulationResult simulate(const graph::Graph& g,
+                          const std::vector<graph::Path>& paths,
+                          const corr::CongestionModel& model,
+                          const SimulatorConfig& config) {
+  TOMO_REQUIRE(!paths.empty(), "simulate: no paths");
+  TOMO_REQUIRE(model.link_count() == g.link_count(),
+               "simulate: model link count does not match the graph");
+  TOMO_REQUIRE(config.snapshots > 0, "simulate: need at least one snapshot");
+  TOMO_REQUIRE(config.packets_per_path > 0 ||
+                   config.mode == PacketMode::kExact,
+               "simulate: need at least one packet per path");
+
+  LossModel loss_model(config.tl);
+  Rng rng(config.seed);
+
+  SimulationResult result{
+      PathObservations(paths.size(), config.snapshots),
+      std::vector<std::size_t>(g.link_count(), 0),
+      config.snapshots,
+  };
+
+  // Precompute per-path thresholds.
+  std::vector<double> tp(paths.size());
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    tp[p] = loss_model.path_threshold(paths[p].length());
+  }
+
+  std::vector<double> loss(g.link_count(), 0.0);
+  for (std::size_t n = 0; n < config.snapshots; ++n) {
+    const std::vector<std::uint8_t> state = model.sample(rng);
+    TOMO_ASSERT(state.size() == g.link_count());
+    for (graph::LinkId k = 0; k < g.link_count(); ++k) {
+      result.link_congested_count[k] += state[k];
+    }
+
+    if (config.mode == PacketMode::kExact) {
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        for (graph::LinkId k : paths[p].links()) {
+          if (state[k]) {
+            result.observations.set_congested(p, n);
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    for (graph::LinkId k = 0; k < g.link_count(); ++k) {
+      loss[k] = loss_model.sample_loss_rate(rng, state[k] != 0);
+    }
+
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      const std::size_t sent = config.packets_per_path;
+      std::size_t delivered = 0;
+      if (config.mode == PacketMode::kBinomial) {
+        double survival = 1.0;
+        for (graph::LinkId k : paths[p].links()) {
+          survival *= 1.0 - loss[k];
+        }
+        delivered = static_cast<std::size_t>(rng.binomial(sent, survival));
+      } else {  // kPerPacket
+        for (std::size_t packet = 0; packet < sent; ++packet) {
+          bool alive = true;
+          for (graph::LinkId k : paths[p].links()) {
+            if (rng.bernoulli(loss[k])) {
+              alive = false;
+              break;
+            }
+          }
+          delivered += alive ? 1 : 0;
+        }
+      }
+      const double measured_loss =
+          1.0 - static_cast<double>(delivered) / static_cast<double>(sent);
+      if (measured_loss > tp[p]) {
+        result.observations.set_congested(p, n);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tomo::sim

@@ -1,0 +1,54 @@
+// The snapshot simulator (paper §5, "Simulator").
+//
+// Each round: (1) draw the congested-link set from the ground-truth
+// CongestionModel, (2) assign each link a loss rate from the LossModel,
+// (3) send packets along every path and measure its loss rate, (4) flag the
+// path congested when the measured rate exceeds tp.
+//
+// Packet transmission modes:
+//   kBinomial  — per path, delivered ~ Binomial(n, Π(1-loss_k)); exactly
+//                equivalent to independent per-packet fates, and fast.
+//   kPerPacket — literal per-packet Bernoulli walk along the links; used in
+//                tests to validate kBinomial, and for small studies.
+//   kExact     — no packet noise: a path is congested iff one of its links
+//                is (separability applied directly); isolates estimation
+//                error from packet-sampling error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "sim/loss_model.hpp"
+#include "sim/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace tomo::sim {
+
+enum class PacketMode { kBinomial, kPerPacket, kExact };
+
+struct SimulatorConfig {
+  std::size_t snapshots = 1000;
+  std::size_t packets_per_path = 1000;
+  PacketMode mode = PacketMode::kBinomial;
+  double tl = 0.01;
+  std::uint64_t seed = 1;
+};
+
+struct SimulationResult {
+  PathObservations observations;
+  // Empirical per-link congestion counts (ground truth bookkeeping, used
+  // for diagnostics and tests; the algorithms never see it).
+  std::vector<std::size_t> link_congested_count;
+  std::size_t snapshots = 0;
+};
+
+/// Runs the experiment and returns per-path congestion observations.
+SimulationResult simulate(const graph::Graph& g,
+                          const std::vector<graph::Path>& paths,
+                          const corr::CongestionModel& model,
+                          const SimulatorConfig& config);
+
+}  // namespace tomo::sim

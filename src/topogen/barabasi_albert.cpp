@@ -1,0 +1,64 @@
+#include "topogen/barabasi_albert.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tomo::topogen {
+
+std::vector<std::pair<std::size_t, std::size_t>> barabasi_albert_edges(
+    std::size_t nodes, std::size_t edges_per_node, Rng& rng) {
+  TOMO_REQUIRE(edges_per_node >= 1, "BA needs at least one edge per node");
+  TOMO_REQUIRE(nodes > edges_per_node,
+               "BA needs more nodes than edges per node");
+
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  // Repeated-endpoint list: sampling a uniform element of `targets` is
+  // degree-proportional sampling.
+  std::vector<std::size_t> targets;
+
+  // Seed clique over the first edges_per_node + 1 nodes.
+  const std::size_t seed = edges_per_node + 1;
+  for (std::size_t i = 0; i < seed; ++i) {
+    for (std::size_t j = i + 1; j < seed; ++j) {
+      edges.emplace_back(i, j);
+      targets.push_back(i);
+      targets.push_back(j);
+    }
+  }
+
+  std::vector<std::size_t> chosen;
+  for (std::size_t v = seed; v < nodes; ++v) {
+    chosen.clear();
+    while (chosen.size() < edges_per_node) {
+      const std::size_t candidate = targets[rng.below(targets.size())];
+      if (std::find(chosen.begin(), chosen.end(), candidate) ==
+          chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (std::size_t u : chosen) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return edges;
+}
+
+graph::Graph to_directed_graph(
+    std::size_t nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    const std::string& name_prefix) {
+  graph::Graph g;
+  for (std::size_t v = 0; v < nodes; ++v) {
+    g.add_node(name_prefix + std::to_string(v));
+  }
+  for (const auto& [u, v] : edges) {
+    g.add_link(u, v);
+    g.add_link(v, u);
+  }
+  return g;
+}
+
+}  // namespace tomo::topogen

@@ -1,0 +1,31 @@
+// Barabási-Albert preferential-attachment generator.
+//
+// BRITE's AS-level mode is a BA construction; this is the stand-in for the
+// paper's AS-level topologies. The generator returns an undirected edge
+// list over `nodes` vertices; helpers convert it to a directed Graph with
+// one link per direction (measured links are directed).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace tomo::topogen {
+
+/// Undirected BA graph: starts from a small clique, then each new node
+/// attaches to `edges_per_node` distinct existing nodes with probability
+/// proportional to degree. Requires nodes > edges_per_node >= 1.
+std::vector<std::pair<std::size_t, std::size_t>> barabasi_albert_edges(
+    std::size_t nodes, std::size_t edges_per_node, Rng& rng);
+
+/// Materializes an undirected edge list as a directed Graph with links in
+/// both directions. Node names get the given prefix.
+graph::Graph to_directed_graph(
+    std::size_t nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    const std::string& name_prefix = "as");
+
+}  // namespace tomo::topogen

@@ -1,0 +1,37 @@
+#include "topogen/generated.hpp"
+
+#include "util/error.hpp"
+
+namespace tomo::topogen {
+
+PrunedSystem prune_to_covered(const graph::Graph& g,
+                              const std::vector<graph::Path>& paths) {
+  std::vector<bool> used(g.link_count(), false);
+  for (const graph::Path& p : paths) {
+    for (graph::LinkId e : p.links()) {
+      used[e] = true;
+    }
+  }
+  PrunedSystem out;
+  out.link_map.assign(g.link_count(), PrunedSystem::npos);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    out.graph.add_node(g.node_name(v));
+  }
+  for (graph::LinkId e = 0; e < g.link_count(); ++e) {
+    if (!used[e]) continue;
+    out.link_map[e] = out.graph.add_link(g.link(e).src, g.link(e).dst);
+  }
+  out.paths.reserve(paths.size());
+  for (const graph::Path& p : paths) {
+    std::vector<graph::LinkId> links;
+    links.reserve(p.length());
+    for (graph::LinkId e : p.links()) {
+      TOMO_ASSERT(out.link_map[e] != PrunedSystem::npos);
+      links.push_back(out.link_map[e]);
+    }
+    out.paths.emplace_back(out.graph, std::move(links));
+  }
+  return out;
+}
+
+}  // namespace tomo::topogen

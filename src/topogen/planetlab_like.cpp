@@ -1,0 +1,91 @@
+#include "topogen/planetlab_like.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "graph/routing.hpp"
+#include "topogen/barabasi_albert.hpp"
+#include "util/error.hpp"
+
+namespace tomo::topogen {
+
+namespace {
+
+/// Partitions links into "site" clusters of at most `target` links. Each
+/// link is owned by one of its two endpoint nodes (chosen at random — the
+/// side whose hidden switch fabric carries its bottleneck segment, the LAN
+/// picture of the paper's Figure 2(a)); a node's owned links are chunked
+/// into clusters of the target size. A cluster therefore mixes links
+/// entering and leaving one site: correlated links can be parallel
+/// (fan-in/fan-out) or consecutive along a path crossing the site.
+graph::LinkPartition site_clusters(const graph::Graph& g, std::size_t target,
+                                   double fabric_prob, Rng& rng) {
+  std::vector<std::vector<graph::LinkId>> owned(g.node_count());
+  graph::LinkPartition partition;
+  for (graph::LinkId e = 0; e < g.link_count(); ++e) {
+    const graph::Link& link = g.link(e);
+    if (rng.bernoulli(fabric_prob)) {
+      owned[rng.bernoulli(0.5) ? link.src : link.dst].push_back(e);
+    } else {
+      partition.push_back({e});  // dedicated bottleneck: singleton
+    }
+  }
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<graph::LinkId> pending;
+    for (graph::LinkId e : owned[v]) {
+      pending.push_back(e);
+      if (pending.size() == target) {
+        partition.push_back(std::move(pending));
+        pending.clear();
+      }
+    }
+    if (!pending.empty()) {
+      partition.push_back(std::move(pending));
+    }
+  }
+  return partition;
+}
+
+}  // namespace
+
+GeneratedTopology generate_planetlab_like(const PlanetLabParams& params) {
+  TOMO_REQUIRE(params.vantage_points >= 2, "need at least two vantage points");
+  TOMO_REQUIRE(params.vantage_points <= params.routers,
+               "more vantage points than routers");
+  TOMO_REQUIRE(params.cluster_size >= 1, "cluster size must be positive");
+  Rng rng(mix_seed(params.seed, /*tag=*/0x506c616eULL));  // "Plan"
+
+  const auto edges = waxman_edges(params.routers, params.waxman, rng);
+  graph::Graph router_graph =
+      to_directed_graph(params.routers, edges, "r");
+
+  std::vector<double> weights(router_graph.link_count());
+  for (double& w : weights) {
+    w = 1.0 + 0.05 * rng.uniform();
+  }
+  const std::vector<std::size_t> vantage_idx = rng.sample_without_replacement(
+      params.routers, params.vantage_points);
+  std::vector<graph::NodeId> vantages(vantage_idx.begin(),
+                                      vantage_idx.end());
+  std::vector<graph::Path> raw_paths =
+      graph::mesh_paths(router_graph, vantages, weights);
+  TOMO_REQUIRE(!raw_paths.empty(), "mesh produced no paths");
+
+  PrunedSystem pruned = prune_to_covered(router_graph, raw_paths);
+
+  GeneratedTopology out;
+  out.graph = std::move(pruned.graph);
+  out.paths = std::move(pruned.paths);
+  out.partition = site_clusters(out.graph, params.cluster_size, params.fabric_prob, rng);
+
+  std::ostringstream desc;
+  desc << "planetlab-like(routers=" << params.routers << ", vantage="
+       << params.vantage_points << "): " << out.graph.link_count()
+       << " links, " << out.paths.size() << " paths, "
+       << out.partition.size() << " correlation sets";
+  out.description = desc.str();
+  return out;
+}
+
+}  // namespace tomo::topogen

@@ -1,0 +1,31 @@
+// PlanetLab-substitute topology generator.
+//
+// The paper's PlanetLab topologies were built by tracerouting between
+// PlanetLab nodes and assigning links to correlation sets formed by
+// contiguous clusters of links. We reproduce the same structure
+// synthetically: vantage hosts on a Waxman router-level graph, a full mesh
+// of shortest-path "traceroutes", pruning to observed links, and
+// correlation sets grown as contiguous link clusters.
+#pragma once
+
+#include <cstdint>
+
+#include "topogen/generated.hpp"
+#include "topogen/waxman.hpp"
+
+namespace tomo::topogen {
+
+struct PlanetLabParams {
+  std::size_t routers = 150;
+  std::size_t vantage_points = 14;
+  std::size_t cluster_size = 5;  // target correlation-set size
+  /// Probability that a link's bottleneck lies on a shared site fabric
+  /// (otherwise the link is its own singleton correlation set).
+  double fabric_prob = 0.5;
+  WaxmanParams waxman;
+  std::uint64_t seed = 1;
+};
+
+GeneratedTopology generate_planetlab_like(const PlanetLabParams& params);
+
+}  // namespace tomo::topogen

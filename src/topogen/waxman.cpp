@@ -1,0 +1,64 @@
+#include "topogen/waxman.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace tomo::topogen {
+
+std::vector<std::pair<std::size_t, std::size_t>> waxman_edges(
+    std::size_t nodes, const WaxmanParams& params, Rng& rng) {
+  TOMO_REQUIRE(nodes >= 2, "waxman needs at least two nodes");
+  TOMO_REQUIRE(params.alpha > 0.0 && params.alpha <= 1.0,
+               "waxman alpha must be in (0,1]");
+  TOMO_REQUIRE(params.beta > 0.0, "waxman beta must be positive");
+
+  std::vector<double> x(nodes), y(nodes);
+  for (std::size_t v = 0; v < nodes; ++v) {
+    x[v] = rng.uniform();
+    y[v] = rng.uniform();
+  }
+  auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const double scale = std::sqrt(2.0);
+
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<std::vector<bool>> connected(nodes,
+                                           std::vector<bool>(nodes, false));
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    if (a == b || connected[a][b]) return;
+    connected[a][b] = connected[b][a] = true;
+    edges.emplace_back(a, b);
+  };
+
+  // Connectivity spine: each node links to its nearest predecessor.
+  for (std::size_t v = 1; v < nodes; ++v) {
+    std::size_t nearest = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t u = 0; u < v; ++u) {
+      const double d = distance(u, v);
+      if (d < best) {
+        best = d;
+        nearest = u;
+      }
+    }
+    add_edge(nearest, v);
+  }
+
+  for (std::size_t a = 0; a < nodes; ++a) {
+    for (std::size_t b = a + 1; b < nodes; ++b) {
+      const double p =
+          params.alpha * std::exp(-distance(a, b) / (params.beta * scale));
+      if (rng.bernoulli(p)) {
+        add_edge(a, b);
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace tomo::topogen

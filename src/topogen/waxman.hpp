@@ -1,0 +1,26 @@
+// Waxman random-geometric generator (BRITE's router-level mode).
+//
+// Nodes are placed uniformly in the unit square; each pair is joined with
+// probability alpha * exp(-d / (beta * L)), L = sqrt(2). To guarantee a
+// connected result (probes must route), every node is additionally joined
+// to its nearest already-placed neighbour.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace tomo::topogen {
+
+struct WaxmanParams {
+  double alpha = 0.15;
+  double beta = 0.2;
+};
+
+std::vector<std::pair<std::size_t, std::size_t>> waxman_edges(
+    std::size_t nodes, const WaxmanParams& params, Rng& rng);
+
+}  // namespace tomo::topogen

@@ -1,0 +1,21 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tomo {
+
+Error::Error(std::string message)
+    : std::runtime_error("tomo: " + message), message_(std::move(message)) {}
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* func) {
+  std::fprintf(stderr, "tomo: assertion `%s` failed at %s:%d in %s\n", expr,
+               file, line, func);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace tomo

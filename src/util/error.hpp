@@ -1,0 +1,48 @@
+// Error handling for libtomo.
+//
+// Recoverable misuse (bad input files, infeasible configurations, empty
+// measurements) throws tomo::Error carrying a human-readable message.
+// Internal invariant violations use TOMO_ASSERT, which is active in all
+// build types: tomography math silently producing garbage is worse than an
+// abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tomo {
+
+/// Exception thrown for all recoverable libtomo errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message);
+
+  /// Returns the message without the "tomo: " prefix added by what().
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  std::string message_;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* func);
+}  // namespace detail
+
+}  // namespace tomo
+
+/// Invariant check that stays on in release builds.
+#define TOMO_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::tomo::detail::assert_fail(#expr, __FILE__, __LINE__, __func__);    \
+    }                                                                      \
+  } while (false)
+
+/// Throws tomo::Error with the given message when `expr` is false.
+#define TOMO_REQUIRE(expr, message)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      throw ::tomo::Error(message);                                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tomo {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double percentile(std::vector<double> values, double p) {
+  TOMO_REQUIRE(!values.empty(), "percentile of an empty sample");
+  TOMO_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Interval wilson_interval(std::size_t k, std::size_t n, double z) {
+  if (n == 0) return {0.0, 1.0};
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(k) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = phat + z2 / (2.0 * nn);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn));
+  double lo = (center - margin) / denom;
+  double hi = (center + margin) / denom;
+  lo = std::max(0.0, lo);
+  hi = std::min(1.0, hi);
+  return {lo, hi};
+}
+
+}  // namespace tomo

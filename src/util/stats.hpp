@@ -1,0 +1,27 @@
+// Small statistics helpers shared by estimators, metrics, and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tomo {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& values);
+
+/// Unbiased sample variance; 0 for fewer than two values.
+double variance(const std::vector<double>& values);
+
+/// p-th percentile (p in [0,100]) by linear interpolation between order
+/// statistics. Throws tomo::Error on empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Wilson score interval for a binomial proportion: k successes out of n
+/// trials at ~95% confidence (z = 1.96). Returns {lo, hi}; {0, 1} for n=0.
+struct Interval {
+  double lo;
+  double hi;
+};
+Interval wilson_interval(std::size_t k, std::size_t n, double z = 1.96);
+
+}  // namespace tomo

@@ -1,0 +1,11 @@
+#include "util/stopwatch.hpp"
+
+namespace tomo {
+
+double Stopwatch::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void Stopwatch::reset() { start_ = Clock::now(); }
+
+}  // namespace tomo

@@ -1,0 +1,40 @@
+// Aligned text tables and CSV emission for the experiment binaries.
+//
+// Each bench reproduces a paper figure by printing a series table; the same
+// Table can be rendered as aligned text (for eyeballing) or CSV (for
+// plotting).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tomo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string fmt(double value, int precision = 4);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Renders as an aligned, pipe-separated text table.
+  void print_text(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tomo

@@ -1,0 +1,76 @@
+// Shared fixtures: the paper's two toy topologies (Figure 1) and small
+// model builders used across test files.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "corr/joint_table.hpp"
+#include "graph/coverage.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+
+namespace tomo::testing {
+
+struct ToySystem {
+  graph::Graph graph;
+  std::vector<graph::Path> paths;
+  corr::CorrelationSets sets;
+};
+
+/// Figure 1(a): links e1..e4 (ids 0..3), paths P1={e1,e3}, P2={e2,e3},
+/// P3={e2,e4}; correlation sets {{e1,e2},{e3},{e4}}. Assumption 4 holds.
+inline ToySystem figure_1a() {
+  ToySystem sys;
+  const auto a = sys.graph.add_node("a");
+  const auto b = sys.graph.add_node("b");
+  const auto c = sys.graph.add_node("c");
+  const auto d = sys.graph.add_node("d");
+  const auto f = sys.graph.add_node("f");
+  const auto e1 = sys.graph.add_link(a, b);
+  const auto e2 = sys.graph.add_link(d, b);
+  const auto e3 = sys.graph.add_link(b, c);
+  const auto e4 = sys.graph.add_link(b, f);
+  sys.paths.emplace_back(sys.graph, std::vector<graph::LinkId>{e1, e3});
+  sys.paths.emplace_back(sys.graph, std::vector<graph::LinkId>{e2, e3});
+  sys.paths.emplace_back(sys.graph, std::vector<graph::LinkId>{e2, e4});
+  sys.sets = corr::CorrelationSets(4, {{e1, e2}, {e3}, {e4}});
+  return sys;
+}
+
+/// Figure 1(b): links e1..e3 (ids 0..2), paths P1={e1,e3}, P2={e2,e3};
+/// correlation sets {{e1,e2},{e3}}. Assumption 4 fails: ψ({e1,e2}) =
+/// ψ({e3}) = {P1,P2}.
+inline ToySystem figure_1b() {
+  ToySystem sys;
+  const auto a = sys.graph.add_node("a");
+  const auto b = sys.graph.add_node("b");
+  const auto c = sys.graph.add_node("c");
+  const auto d = sys.graph.add_node("d");
+  const auto e1 = sys.graph.add_link(a, b);
+  const auto e2 = sys.graph.add_link(d, b);
+  const auto e3 = sys.graph.add_link(b, c);
+  sys.paths.emplace_back(sys.graph, std::vector<graph::LinkId>{e1, e3});
+  sys.paths.emplace_back(sys.graph, std::vector<graph::LinkId>{e2, e3});
+  sys.sets = corr::CorrelationSets(3, {{e1, e2}, {e3}});
+  return sys;
+}
+
+/// A correlated joint model for Figure 1(a): e1,e2 positively correlated,
+/// e3 and e4 independent. Marginals: P(e1)=0.3, P(e2)=0.25 (with joint
+/// P(e1&e2)=0.2 > 0.075 = independence), P(e3)=0.15, P(e4)=0.4.
+inline std::unique_ptr<corr::JointTableModel> figure_1a_model(
+    const corr::CorrelationSets& sets) {
+  // Set 0 = {e1,e2}: masks 00, 01 (e1), 10 (e2), 11.
+  corr::SetDistribution d0;
+  d0.prob = {0.65, 0.10, 0.05, 0.20};
+  corr::SetDistribution d1;  // {e3}
+  d1.prob = {0.85, 0.15};
+  corr::SetDistribution d2;  // {e4}
+  d2.prob = {0.60, 0.40};
+  return std::make_unique<corr::JointTableModel>(
+      sets, std::vector<corr::SetDistribution>{d0, d1, d2});
+}
+
+}  // namespace tomo::testing

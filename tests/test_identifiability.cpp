@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "corr/identifiability.hpp"
+#include "graph/coverage.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace tomo::corr {
+namespace {
+
+TEST(Identifiability, Figure1aHolds) {
+  auto sys = tomo::testing::figure_1a();
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  const auto report = check_identifiability(cov, sys.sets);
+  EXPECT_TRUE(report.holds);
+  EXPECT_TRUE(report.collisions.empty());
+  EXPECT_TRUE(report.unidentifiable_links.empty());
+}
+
+TEST(Identifiability, Figure1bFails) {
+  auto sys = tomo::testing::figure_1b();
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  const auto report = check_identifiability(cov, sys.sets);
+  EXPECT_FALSE(report.holds);
+  ASSERT_EQ(report.collisions.size(), 1u);
+  // The paper's collision: {e1,e2} vs {e3}.
+  const auto& c = report.collisions[0];
+  const std::size_t sizes =
+      c.a.links.size() + c.b.links.size();
+  EXPECT_EQ(sizes, 3u);
+  // All three links are unidentifiable.
+  EXPECT_EQ(report.unidentifiable_links,
+            (std::vector<LinkId>{0, 1, 2}));
+}
+
+TEST(Identifiability, UncorrelatedSpecialCaseMatchesClassicRule) {
+  // With singleton sets, Assumption 4 reduces to "no two links covered by
+  // exactly the same paths". Build a graph with two consecutive links
+  // traversed by the same single path: classic unidentifiability.
+  graph::Graph g;
+  const auto a = g.add_node(), b = g.add_node(), c = g.add_node();
+  const auto e1 = g.add_link(a, b), e2 = g.add_link(b, c);
+  std::vector<graph::Path> paths;
+  paths.emplace_back(g, std::vector<graph::LinkId>{e1, e2});
+  const graph::CoverageIndex cov(g, paths);
+  const auto report =
+      check_identifiability(cov, CorrelationSets::singletons(2));
+  EXPECT_FALSE(report.holds);
+  EXPECT_EQ(report.unidentifiable_links, (std::vector<LinkId>{0, 1}));
+}
+
+TEST(Identifiability, StructuralCriterionFindsFigure1bNode) {
+  auto sys = tomo::testing::figure_1b();
+  const auto nodes =
+      structurally_violating_nodes(sys.graph, sys.paths, sys.sets);
+  // Node "b" (id 1) has ingress {e1,e2} in one set, egress {e3} in one set.
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], 1u);
+  const auto links =
+      structurally_unidentifiable_links(sys.graph, sys.paths, sys.sets);
+  EXPECT_EQ(links, (std::vector<LinkId>{0, 1, 2}));
+}
+
+TEST(Identifiability, StructuralCriterionClearsFigure1a) {
+  auto sys = tomo::testing::figure_1a();
+  EXPECT_TRUE(
+      structurally_violating_nodes(sys.graph, sys.paths, sys.sets).empty());
+}
+
+TEST(Identifiability, EndpointNodesAreExempt) {
+  // A two-link chain where the middle node b is an endpoint of one path:
+  // b must not be flagged even though its links line up.
+  graph::Graph g;
+  const auto a = g.add_node(), b = g.add_node(), c = g.add_node();
+  const auto e1 = g.add_link(a, b), e2 = g.add_link(b, c);
+  std::vector<graph::Path> paths;
+  paths.emplace_back(g, std::vector<graph::LinkId>{e1});
+  paths.emplace_back(g, std::vector<graph::LinkId>{e1, e2});
+  CorrelationSets sets(2, {{0}, {1}});
+  EXPECT_TRUE(structurally_violating_nodes(g, paths, sets).empty());
+}
+
+TEST(Identifiability, ExactCheckerRespectsSizeGuard) {
+  auto sys = tomo::testing::figure_1a();
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  EXPECT_THROW(check_identifiability(cov, sys.sets, /*max_set_size=*/1),
+               Error);
+}
+
+}  // namespace
+}  // namespace tomo::corr

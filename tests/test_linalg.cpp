@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/irls.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/nnls.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/rank_tracker.hpp"
+#include "linalg/simplex.hpp"
+#include "linalg/solvers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tomo::linalg {
+namespace {
+
+// ------------------------------------------------------------- matrix ----
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, AppendRowGrowsAndValidates) {
+  Matrix m;
+  m.append_row({1, 2, 3});
+  m.append_row({4, 5, 6});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_THROW(m.append_row({1}), Error);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Vector y = m.multiply({1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 11.0);
+  const Vector z = m.multiply_transposed({1, 1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 9.0);
+  EXPECT_DOUBLE_EQ(z[1], 12.0);
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 2), 5.0);
+}
+
+TEST(Matrix, Norms) {
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm1({-1, 2, -3}), 6.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-1, 2, -3}), 3.0);
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+}
+
+TEST(Matrix, ResidualComputation) {
+  Matrix a{{1, 0}, {0, 1}};
+  const Vector r = residual(a, {1, 2}, {3, 3});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+}
+
+// ----------------------------------------------------------------- QR ----
+
+TEST(Qr, SolvesSquareSystemExactly) {
+  Matrix a{{2, 1}, {1, 3}};
+  const Vector x = least_squares(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(Qr, OverdeterminedLeastSquares) {
+  // Fit y = 2t + 1 through noisy-free samples: exact recovery.
+  Matrix a{{0, 1}, {1, 1}, {2, 1}, {3, 1}};
+  const Vector x = least_squares(a, {1, 3, 5, 7});
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(Qr, RankDetection) {
+  Matrix full{{1, 0}, {0, 1}};
+  EXPECT_EQ(QrDecomposition(full).rank(), 2u);
+  Matrix deficient{{1, 2}, {2, 4}, {3, 6}};
+  EXPECT_EQ(QrDecomposition(deficient).rank(), 1u);
+}
+
+TEST(Qr, RankDeficientSolveIsFinite) {
+  Matrix a{{1, 2}, {2, 4}};
+  const Vector x = QrDecomposition(a).solve({3, 6});
+  // Consistent system: A x must reproduce b.
+  const Vector ax = a.multiply(x);
+  EXPECT_NEAR(ax[0], 3.0, 1e-9);
+  EXPECT_NEAR(ax[1], 6.0, 1e-9);
+}
+
+TEST(Qr, RandomRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + trial % 6;
+    Matrix a(n + 3, n);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        a(i, j) = rng.uniform(-1, 1);
+      }
+    }
+    Vector x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-2, 2);
+    const Vector b = a.multiply(x_true);
+    const Vector x = least_squares(a, b);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(x[j], x_true[j], 1e-8);
+    }
+  }
+}
+
+// ------------------------------------------------------- rank tracker ----
+
+TEST(RankTracker, AcceptsIndependentRejectsDependent) {
+  RankTracker tracker(3);
+  EXPECT_TRUE(tracker.try_add_ones({0}));
+  EXPECT_TRUE(tracker.try_add_ones({1}));
+  EXPECT_FALSE(tracker.try_add_ones({0, 1}));  // sum of the first two
+  EXPECT_TRUE(tracker.try_add_ones({0, 1, 2}));
+  EXPECT_TRUE(tracker.full_rank());
+  EXPECT_FALSE(tracker.try_add_ones({2}));
+}
+
+TEST(RankTracker, DetectsRationalDependence) {
+  // Rows (1,1,0),(0,1,1),(1,0,1) are independent over the reals (det=2)
+  // even though they are dependent over GF(2) — the tracker must work over
+  // the reals.
+  RankTracker tracker(3);
+  EXPECT_TRUE(tracker.try_add_ones({0, 1}));
+  EXPECT_TRUE(tracker.try_add_ones({1, 2}));
+  EXPECT_TRUE(tracker.try_add_ones({0, 2}));
+  EXPECT_TRUE(tracker.full_rank());
+}
+
+TEST(RankTracker, DenseRows) {
+  RankTracker tracker(3);
+  EXPECT_TRUE(tracker.try_add_dense({1.0, 2.0, 3.0}));
+  EXPECT_TRUE(tracker.try_add_dense({0.0, 1.0, 1.0}));
+  EXPECT_FALSE(tracker.try_add_dense({1.0, 3.0, 4.0}));  // row0 + row1
+  EXPECT_EQ(tracker.rank(), 2u);
+}
+
+TEST(RankTracker, RejectsDuplicateIndices) {
+  RankTracker tracker(3);
+  EXPECT_THROW(tracker.try_add_ones({1, 1}), Error);
+}
+
+TEST(RankTracker, MatchesQrRankOnRandomZeroOneRows) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t dim = 12;
+    Matrix accepted_rows;
+    RankTracker tracker(dim);
+    Matrix all;
+    for (int r = 0; r < 30; ++r) {
+      Vector row(dim, 0.0);
+      std::vector<std::size_t> ones;
+      for (std::size_t j = 0; j < dim; ++j) {
+        if (rng.bernoulli(0.3)) {
+          row[j] = 1.0;
+          ones.push_back(j);
+        }
+      }
+      if (ones.empty()) continue;
+      all.append_row(row);
+      if (tracker.try_add_ones(ones)) {
+        accepted_rows.append_row(row);
+      }
+    }
+    // Tracker rank equals true matrix rank, and accepted rows really are
+    // independent.
+    EXPECT_EQ(tracker.rank(), QrDecomposition(all.transposed()).rank());
+    if (accepted_rows.rows() > 0) {
+      EXPECT_EQ(QrDecomposition(accepted_rows.transposed()).rank(),
+                accepted_rows.rows());
+    }
+  }
+}
+
+// --------------------------------------------------------------- NNLS ----
+
+TEST(Nnls, MatchesUnconstrainedWhenSolutionPositive) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const Vector b{1, 2, 3};
+  const NnlsResult r = nnls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-8);
+}
+
+TEST(Nnls, ClampsNegativeComponents) {
+  // Unconstrained solution of x = -1: NNLS must return 0.
+  Matrix a{{1}};
+  const NnlsResult r = nnls(a, {-1});
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+  EXPECT_NEAR(r.residual_norm, 1.0, 1e-12);
+}
+
+TEST(Nnls, RandomProblemsSatisfyKkt) {
+  Rng rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m = 10, n = 6;
+    Matrix a(m, n);
+    Vector b(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+      b[i] = rng.uniform(-1, 1);
+    }
+    const NnlsResult r = nnls(a, b);
+    ASSERT_TRUE(r.converged);
+    const Vector grad = a.multiply_transposed(residual(a, r.x, b));
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_GE(r.x[j], 0.0);
+      if (r.x[j] > 1e-9) {
+        EXPECT_NEAR(grad[j], 0.0, 1e-6);  // active variables: zero gradient
+      } else {
+        EXPECT_LE(grad[j], 1e-6);  // inactive: non-ascent direction
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ simplex ----
+
+TEST(Simplex, SolvesBasicLp) {
+  // min -x1 - 2x2 s.t. x1 + x2 + s = 4, x1 + 3x2 + t = 6 (as equalities
+  // with explicit slacks).
+  Matrix a{{1, 1, 1, 0}, {1, 3, 0, 1}};
+  const Vector b{4, 6};
+  const Vector c{-1, -2, 0, 0};
+  const LpResult r = simplex_solve(a, b, c);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-8);  // x = (3, 1)
+  EXPECT_NEAR(r.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x1 = -1 with x1 >= 0 is infeasible.
+  Matrix a{{1}};
+  const LpResult r = simplex_solve(a, {-1}, {1});
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x1 s.t. x1 - x2 = 0: increase both forever.
+  Matrix a{{1, -1}};
+  const LpResult r = simplex_solve(a, {0}, {-1, 0});
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhs) {
+  // -x1 = -3 -> x1 = 3.
+  Matrix a{{-1}};
+  const LpResult r = simplex_solve(a, {-3}, {1});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-8);
+}
+
+TEST(L1Regression, ExactFitWhenConsistent) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const Vector b{1, 2, 3};
+  const L1Result r = l1_regression(a, b);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-6);
+}
+
+TEST(L1Regression, RobustToSingleOutlier) {
+  // Five consistent equations x=2 and one outlier x=100: the L1 solution
+  // sticks with the majority (the L2 solution would drift).
+  Matrix a{{1}, {1}, {1}, {1}, {1}, {1}};
+  const Vector b{2, 2, 2, 2, 2, 100};
+  const L1Result r = l1_regression(a, b, 1e-9);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(L1Regression, UnderdeterminedPrefersSparse) {
+  // One equation, two unknowns: x0 + x1 = 1 — with the lambda tie-break,
+  // mass concentrates instead of spreading.
+  Matrix a{{1, 1}};
+  const L1Result r = l1_regression(a, {1}, 1e-6);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, 1e-6);
+}
+
+// --------------------------------------------------------------- IRLS ----
+
+TEST(Irls, ApproximatesL1OnOutlierProblem) {
+  Matrix a{{1}, {1}, {1}, {1}, {1}, {1}};
+  const Vector b{2, 2, 2, 2, 2, 100};
+  const IrlsResult r = irls_l1(a, b);
+  EXPECT_NEAR(r.x[0], 2.0, 0.1);
+}
+
+TEST(Irls, ConsistentSystemExact) {
+  Matrix a{{2, 0}, {0, 4}};
+  const IrlsResult r = irls_l1(a, {2, 8});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-6);
+}
+
+// ------------------------------------------------------------ solvers ----
+
+TEST(Solvers, KindParsingRoundTrip) {
+  for (const auto kind :
+       {SolverKind::kLeastSquares, SolverKind::kNnls, SolverKind::kL1Lp,
+        SolverKind::kIrls}) {
+    EXPECT_EQ(solver_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(solver_kind_from_string("bogus"), Error);
+}
+
+TEST(Solvers, AllKindsSolveConsistentLogSystem) {
+  // x = (log 0.9, log 0.8, log 0.7); equations: x0+x1, x1+x2, x0+x2.
+  const double x0 = std::log(0.9), x1 = std::log(0.8), x2 = std::log(0.7);
+  Matrix a{{1, 1, 0}, {0, 1, 1}, {1, 0, 1}};
+  const Vector y{x0 + x1, x1 + x2, x0 + x2};
+  for (const auto kind :
+       {SolverKind::kLeastSquares, SolverKind::kNnls, SolverKind::kL1Lp,
+        SolverKind::kIrls}) {
+    const LogSystemSolution s = solve_log_system(a, y, kind);
+    EXPECT_NEAR(s.x[0], x0, 1e-5) << to_string(kind);
+    EXPECT_NEAR(s.x[1], x1, 1e-5) << to_string(kind);
+    EXPECT_NEAR(s.x[2], x2, 1e-5) << to_string(kind);
+  }
+}
+
+TEST(Solvers, SolutionsAreAlwaysNonPositive) {
+  // Inconsistent noisy system: whatever the solver does, x must stay <= 0
+  // (they are log-probabilities).
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const Vector y{0.5, -0.1, -0.2};  // note the positive (infeasible) entry
+  for (const auto kind :
+       {SolverKind::kLeastSquares, SolverKind::kNnls, SolverKind::kL1Lp,
+        SolverKind::kIrls}) {
+    const LogSystemSolution s = solve_log_system(a, y, kind);
+    for (double v : s.x) {
+      EXPECT_LE(v, 0.0) << to_string(kind);
+    }
+  }
+}
+
+TEST(Solvers, RejectsNonFiniteRhs) {
+  Matrix a{{1}};
+  EXPECT_THROW(
+      solve_log_system(a, {std::numeric_limits<double>::quiet_NaN()}),
+      Error);
+}
+
+}  // namespace
+}  // namespace tomo::linalg

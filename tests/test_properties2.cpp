@@ -1,0 +1,252 @@
+// Second property suite: cross-module invariants on randomized instances
+// (transform correctness, solver optimality, theorem/practical agreement,
+// serialization round trips).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/correlation_algorithm.hpp"
+#include "core/merged_inference.hpp"
+#include "core/theorem_algorithm.hpp"
+#include "corr/identifiability.hpp"
+#include "corr/model_factory.hpp"
+#include "graph/serialize.hpp"
+#include "graph/transform.hpp"
+#include "linalg/irls.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/simplex.hpp"
+#include "sim/oracle.hpp"
+#include "topogen/planetlab_like.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tomo {
+namespace {
+
+class Seeds2 : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, Seeds2,
+                         ::testing::Values(2, 4, 6, 10, 12, 14));
+
+struct SmallSystem {
+  graph::Graph graph;
+  std::vector<graph::Path> paths;
+  graph::LinkPartition partition;
+};
+
+SmallSystem make_small_system(std::uint64_t seed) {
+  topogen::PlanetLabParams params;
+  params.routers = 30;
+  params.vantage_points = 5;
+  params.cluster_size = 3;
+  params.seed = seed;
+  auto topo = topogen::generate_planetlab_like(params);
+  return {std::move(topo.graph), std::move(topo.paths),
+          std::move(topo.partition)};
+}
+
+// ---------------------------------------------------------- transform ----
+
+TEST_P(Seeds2, MergeReachesFixpointWithNoViolatingNodes) {
+  SmallSystem sys = make_small_system(GetParam());
+  const graph::MergeResult merged =
+      graph::merge_indistinguishable(sys.graph, sys.paths, sys.partition);
+  // Property 1: the result is a valid measured system.
+  EXPECT_NO_THROW(graph::require_partition(merged.graph, merged.partition));
+  graph::require_full_coverage(merged.graph, merged.paths);
+  // Property 2: path endpoints are preserved.
+  ASSERT_EQ(merged.paths.size(), sys.paths.size());
+  for (std::size_t p = 0; p < sys.paths.size(); ++p) {
+    EXPECT_EQ(merged.paths[p].source(), sys.paths[p].source());
+    EXPECT_EQ(merged.paths[p].destination(), sys.paths[p].destination());
+  }
+  // Property 3: fixpoint — no intermediate node still matches the merge
+  // criterion (= the structural Assumption-4 violation pattern).
+  const corr::CorrelationSets merged_sets(merged.graph.link_count(),
+                                          merged.partition);
+  EXPECT_TRUE(corr::structurally_violating_nodes(merged.graph, merged.paths,
+                                                 merged_sets)
+                  .empty());
+}
+
+TEST_P(Seeds2, MergeCompositionReconstructsPaths) {
+  SmallSystem sys = make_small_system(GetParam());
+  const graph::MergeResult merged =
+      graph::merge_indistinguishable(sys.graph, sys.paths, sys.partition);
+  // Expanding each merged path through the composition map must give back
+  // exactly the original link sequence.
+  for (std::size_t p = 0; p < sys.paths.size(); ++p) {
+    std::vector<graph::LinkId> expanded;
+    for (graph::LinkId m : merged.paths[p].links()) {
+      const auto& comp = merged.composition[m];
+      expanded.insert(expanded.end(), comp.begin(), comp.end());
+    }
+    EXPECT_EQ(expanded, sys.paths[p].links()) << "path " << p;
+  }
+}
+
+// ---------------------------------------------------------- serialize ----
+
+TEST_P(Seeds2, SerializationRoundTripsGeneratedSystems) {
+  SmallSystem sys = make_small_system(GetParam());
+  graph::MeasuredSystem ms{sys.graph, sys.paths, sys.partition};
+  std::stringstream buffer;
+  graph::write_system(buffer, ms);
+  const graph::MeasuredSystem loaded = graph::read_system(buffer);
+  EXPECT_EQ(loaded.graph.link_count(), ms.graph.link_count());
+  EXPECT_EQ(loaded.partition, ms.partition);
+  ASSERT_EQ(loaded.paths.size(), ms.paths.size());
+  for (std::size_t p = 0; p < ms.paths.size(); ++p) {
+    EXPECT_EQ(loaded.paths[p].links(), ms.paths[p].links());
+  }
+}
+
+// ------------------------------------------------------------ solvers ----
+
+TEST_P(Seeds2, QrResidualIsOrthogonalToColumnSpace) {
+  Rng rng(mix_seed(GetParam(), 1));
+  const std::size_t m = 12, n = 7;
+  linalg::Matrix a(m, n);
+  linalg::Vector b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    b[i] = rng.uniform(-1, 1);
+  }
+  const linalg::Vector x = linalg::least_squares(a, b);
+  const linalg::Vector grad =
+      a.multiply_transposed(linalg::residual(a, x, b));
+  EXPECT_LT(linalg::norm_inf(grad), 1e-8);
+}
+
+TEST_P(Seeds2, ExactL1NeverWorseThanIrls) {
+  Rng rng(mix_seed(GetParam(), 2));
+  const std::size_t m = 10, n = 4;
+  linalg::Matrix a(m, n);
+  linalg::Vector b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(0, 1);
+    b[i] = rng.uniform(0, 1);
+  }
+  const linalg::L1Result lp = linalg::l1_regression(a, b, 1e-9);
+  ASSERT_TRUE(lp.optimal);
+  const linalg::IrlsResult ir = linalg::irls_l1(a, b);
+  // The LP solves the constrained problem (x >= 0); IRLS is unconstrained,
+  // so compare on the common ground: the LP objective must not exceed the
+  // L1 norm of the clamped IRLS solution.
+  linalg::Vector clamped = ir.x;
+  for (double& v : clamped) v = std::max(0.0, v);
+  const double irls_obj = linalg::norm1(linalg::residual(a, clamped, b));
+  EXPECT_LE(linalg::norm1(linalg::residual(a, lp.x, b)), irls_obj + 1e-6);
+}
+
+// ------------------------------------------- theorem vs practical §4 ----
+
+TEST_P(Seeds2, TheoremAndPracticalAlgorithmsAgreeOnTinyIdentifiable) {
+  topogen::PlanetLabParams params;
+  params.routers = 12;
+  params.vantage_points = 4;
+  params.cluster_size = 2;
+  params.seed = GetParam();
+  auto topo = topogen::generate_planetlab_like(params);
+  if (topo.graph.link_count() > 15) GTEST_SKIP() << "too large";
+  corr::CorrelationSets sets(topo.graph.link_count(), topo.partition);
+
+  Rng rng(mix_seed(GetParam(), 3));
+  std::vector<graph::LinkId> congested;
+  std::vector<double> marginals;
+  for (graph::LinkId e = 0; e < topo.graph.link_count(); ++e) {
+    if (rng.bernoulli(0.35)) {
+      congested.push_back(e);
+      marginals.push_back(rng.uniform(0.1, 0.4));
+    }
+  }
+  if (congested.empty()) {
+    congested.push_back(0);
+    marginals.push_back(0.25);
+  }
+  auto truth =
+      corr::make_clustered_shock_model(sets, congested, marginals, 0.7);
+  const graph::CoverageIndex cov(topo.graph, topo.paths);
+  const sim::OracleMeasurement oracle(*truth, cov, 15);
+
+  core::TheoremResult theorem;
+  try {
+    theorem = core::run_theorem_algorithm(cov, sets, oracle,
+                                          {15, 15});
+  } catch (const Error&) {
+    GTEST_SKIP() << "Assumption 4 violated for this seed";
+  }
+  const core::InferenceResult practical = core::infer_congestion(
+      topo.graph, topo.paths, cov, sets, oracle);
+  // Where the practical system is full rank, the two must agree with the
+  // exact theorem output (and hence with truth).
+  if (practical.system.full_rank()) {
+    for (graph::LinkId e = 0; e < topo.graph.link_count(); ++e) {
+      EXPECT_NEAR(practical.congestion_prob[e],
+                  theorem.congestion_prob[e], 1e-5)
+          << "link " << e;
+    }
+  }
+  for (graph::LinkId e = 0; e < topo.graph.link_count(); ++e) {
+    EXPECT_NEAR(theorem.congestion_prob[e], truth->marginal(e), 1e-7);
+  }
+}
+
+// ----------------------------------------------- merged inference -------
+
+TEST_P(Seeds2, MergedInferenceProducesValidProbabilities) {
+  SmallSystem sys = make_small_system(GetParam());
+  corr::CorrelationSets sets(sys.graph.link_count(), sys.partition);
+  Rng rng(mix_seed(GetParam(), 4));
+  std::vector<graph::LinkId> congested;
+  std::vector<double> marginals;
+  for (graph::LinkId e = 0; e < sys.graph.link_count(); ++e) {
+    if (rng.bernoulli(0.2)) {
+      congested.push_back(e);
+      marginals.push_back(rng.uniform(0.1, 0.5));
+    }
+  }
+  if (congested.empty()) {
+    congested.push_back(0);
+    marginals.push_back(0.3);
+  }
+  auto truth =
+      corr::make_clustered_shock_model(sets, congested, marginals, 0.7);
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  const sim::OracleMeasurement oracle(*truth, cov);
+  const core::MergedInferenceResult r =
+      core::infer_on_merged(sys.graph, sys.paths, sets, oracle);
+  ASSERT_EQ(r.original_link_prob.size(), sys.graph.link_count());
+  for (graph::LinkId e = 0; e < sys.graph.link_count(); ++e) {
+    EXPECT_GE(r.original_link_prob[e], 0.0);
+    EXPECT_LE(r.original_link_prob[e], 1.0);
+    EXPECT_LT(r.merged_of[e], r.transform.graph.link_count());
+  }
+}
+
+// --------------------------------------------------------- demotion -----
+
+TEST_P(Seeds2, DemotionFallbackOnlyAddsCoverage) {
+  SmallSystem sys = make_small_system(GetParam());
+  corr::CorrelationSets sets(sys.graph.link_count(), sys.partition);
+  Rng rng(mix_seed(GetParam(), 5));
+  std::vector<graph::LinkId> congested{0};
+  std::vector<double> marginals{0.3};
+  auto truth =
+      corr::make_clustered_shock_model(sets, congested, marginals, 0.0);
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  const sim::OracleMeasurement oracle(*truth, cov);
+  core::InferenceOptions with, without;
+  with.demote_uncovered = true;
+  without.demote_uncovered = false;
+  const auto r_with = core::infer_congestion(sys.graph, sys.paths, cov,
+                                             sets, oracle, with);
+  const auto r_without = core::infer_congestion(sys.graph, sys.paths, cov,
+                                                sets, oracle, without);
+  EXPECT_GE(r_with.system.rank, r_without.system.rank);
+  EXPECT_GE(r_with.system.equations.size(),
+            r_without.system.equations.size());
+}
+
+}  // namespace
+}  // namespace tomo

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "corr/correlation.hpp"
+#include "corr/router_derived.hpp"
+#include "graph/coverage.hpp"
+#include "graph/transform.hpp"
+#include "topogen/barabasi_albert.hpp"
+#include "topogen/generated.hpp"
+#include "topogen/hierarchical.hpp"
+#include "topogen/planetlab_like.hpp"
+#include "topogen/traceroute.hpp"
+#include "topogen/waxman.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace tomo::topogen {
+namespace {
+
+bool is_connected_undirected(
+    std::size_t nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  std::vector<std::vector<std::size_t>> adj(nodes);
+  for (auto [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(nodes, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++visited;
+        stack.push_back(u);
+      }
+    }
+  }
+  return visited == nodes;
+}
+
+// ----------------------------------------------------- Barabási-Albert ----
+
+TEST(BarabasiAlbert, EdgeCountAndConnectivity) {
+  Rng rng(1);
+  const std::size_t n = 50, m = 2;
+  const auto edges = barabasi_albert_edges(n, m, rng);
+  // Seed clique of m+1 nodes plus m edges per remaining node.
+  const std::size_t expected = m * (m + 1) / 2 + (n - m - 1) * m;
+  EXPECT_EQ(edges.size(), expected);
+  EXPECT_TRUE(is_connected_undirected(n, edges));
+}
+
+TEST(BarabasiAlbert, NoSelfLoopsOrDuplicatesPerNode) {
+  Rng rng(2);
+  const auto edges = barabasi_albert_edges(40, 3, rng);
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (auto [a, b] : edges) {
+    EXPECT_NE(a, b);
+    auto key = std::minmax(a, b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate edge " << a << "-" << b;
+  }
+}
+
+TEST(BarabasiAlbert, HubsEmerge) {
+  Rng rng(3);
+  const auto edges = barabasi_albert_edges(200, 2, rng);
+  std::vector<std::size_t> degree(200, 0);
+  for (auto [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  const std::size_t max_degree =
+      *std::max_element(degree.begin(), degree.end());
+  EXPECT_GE(max_degree, 10u);  // preferential attachment grows hubs
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  Rng rng(4);
+  EXPECT_THROW(barabasi_albert_edges(2, 2, rng), Error);
+  EXPECT_THROW(barabasi_albert_edges(10, 0, rng), Error);
+}
+
+TEST(BarabasiAlbert, DirectedConversion) {
+  Rng rng(5);
+  const auto edges = barabasi_albert_edges(10, 2, rng);
+  const graph::Graph g = to_directed_graph(10, edges, "x");
+  EXPECT_EQ(g.link_count(), 2 * edges.size());
+  EXPECT_EQ(g.node_name(0), "x0");
+}
+
+// --------------------------------------------------------------- Waxman ----
+
+TEST(Waxman, ConnectedAndSimple) {
+  Rng rng(6);
+  const auto edges = waxman_edges(80, WaxmanParams{}, rng);
+  EXPECT_TRUE(is_connected_undirected(80, edges));
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (auto [a, b] : edges) {
+    EXPECT_NE(a, b);
+    auto key = std::minmax(a, b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(Waxman, DensityGrowsWithAlpha) {
+  Rng rng1(7), rng2(7);
+  const auto sparse = waxman_edges(60, {0.05, 0.2}, rng1);
+  const auto dense = waxman_edges(60, {0.6, 0.2}, rng2);
+  EXPECT_GT(dense.size(), sparse.size());
+}
+
+TEST(Waxman, RejectsBadParameters) {
+  Rng rng(8);
+  EXPECT_THROW(waxman_edges(1, WaxmanParams{}, rng), Error);
+  EXPECT_THROW(waxman_edges(10, {0.0, 0.2}, rng), Error);
+  EXPECT_THROW(waxman_edges(10, {0.5, 0.0}, rng), Error);
+}
+
+// ---------------------------------------------------------------- prune ----
+
+TEST(Prune, DropsDarkLinksAndRemaps) {
+  graph::Graph g;
+  const auto a = g.add_node(), b = g.add_node(), c = g.add_node();
+  const auto ab = g.add_link(a, b);
+  g.add_link(a, c);  // never used
+  const auto bc = g.add_link(b, c);
+  std::vector<graph::Path> paths;
+  paths.emplace_back(g, std::vector<graph::LinkId>{ab, bc});
+  const PrunedSystem pruned = prune_to_covered(g, paths);
+  EXPECT_EQ(pruned.graph.link_count(), 2u);
+  EXPECT_EQ(pruned.link_map[ab], 0u);
+  EXPECT_EQ(pruned.link_map[1], PrunedSystem::npos);
+  const graph::CoverageIndex cov(pruned.graph, pruned.paths);
+  EXPECT_TRUE(cov.all_links_covered());
+}
+
+// ----------------------------------------------------------- hierarchical ----
+
+TEST(Hierarchical, ProducesValidMeasuredSystem) {
+  HierarchicalParams params;
+  params.as_nodes = 40;
+  params.endpoints = 10;
+  params.seed = 11;
+  const GeneratedTopology topo = generate_hierarchical(params);
+  EXPECT_GT(topo.graph.link_count(), 0u);
+  EXPECT_GT(topo.paths.size(), 0u);
+  const graph::CoverageIndex cov(topo.graph, topo.paths);
+  EXPECT_TRUE(cov.all_links_covered());
+  EXPECT_NO_THROW(graph::require_partition(topo.graph, topo.partition));
+}
+
+TEST(Hierarchical, CorrelationSetsRespectSizeCap) {
+  HierarchicalParams params;
+  params.as_nodes = 60;
+  params.endpoints = 14;
+  params.max_corrset_size = 6;
+  params.seed = 12;
+  const GeneratedTopology topo = generate_hierarchical(params);
+  bool has_nontrivial = false;
+  for (const auto& cell : topo.partition) {
+    EXPECT_LE(cell.size(), 6u);
+    has_nontrivial |= cell.size() >= 2;
+  }
+  EXPECT_TRUE(has_nontrivial);  // correlation must actually exist
+}
+
+TEST(Hierarchical, SharingDefinesThePartition) {
+  HierarchicalParams params;
+  params.as_nodes = 30;
+  params.endpoints = 8;
+  params.seed = 13;
+  const GeneratedTopology topo = generate_hierarchical(params);
+  corr::CorrelationSets sets(topo.graph.link_count(), topo.partition);
+  // Two links share an underlying router link iff they are in the same set.
+  for (graph::LinkId e1 = 0; e1 < topo.graph.link_count(); ++e1) {
+    for (graph::LinkId e2 = e1 + 1; e2 < topo.graph.link_count(); ++e2) {
+      bool share = false;
+      for (std::size_t r1 : topo.underlying[e1]) {
+        for (std::size_t r2 : topo.underlying[e2]) {
+          share |= (r1 == r2);
+        }
+      }
+      EXPECT_EQ(share, sets.set_of(e1) == sets.set_of(e2))
+          << "links " << e1 << "," << e2;
+    }
+  }
+}
+
+TEST(Hierarchical, UnderlyingFeedsRouterDerivedModel) {
+  HierarchicalParams params;
+  params.as_nodes = 30;
+  params.endpoints = 8;
+  params.seed = 14;
+  const GeneratedTopology topo = generate_hierarchical(params);
+  corr::CorrelationSets sets(topo.graph.link_count(), topo.partition);
+  std::vector<double> router_prob(topo.router_link_count, 0.02);
+  EXPECT_NO_THROW(corr::RouterDerivedModel(sets, topo.underlying,
+                                           router_prob));
+}
+
+TEST(Hierarchical, DeterministicInSeed) {
+  HierarchicalParams params;
+  params.seed = 15;
+  const auto t1 = generate_hierarchical(params);
+  const auto t2 = generate_hierarchical(params);
+  EXPECT_EQ(t1.graph.link_count(), t2.graph.link_count());
+  EXPECT_EQ(t1.paths.size(), t2.paths.size());
+  EXPECT_EQ(t1.partition, t2.partition);
+}
+
+// ------------------------------------------------------------ planetlab ----
+
+TEST(PlanetLab, ProducesValidMeasuredSystem) {
+  PlanetLabParams params;
+  params.routers = 80;
+  params.vantage_points = 8;
+  params.seed = 21;
+  const GeneratedTopology topo = generate_planetlab_like(params);
+  EXPECT_GT(topo.graph.link_count(), 0u);
+  EXPECT_GT(topo.paths.size(), 0u);
+  const graph::CoverageIndex cov(topo.graph, topo.paths);
+  EXPECT_TRUE(cov.all_links_covered());
+  EXPECT_NO_THROW(graph::require_partition(topo.graph, topo.partition));
+}
+
+TEST(PlanetLab, ClustersAreBoundedAndContiguous) {
+  PlanetLabParams params;
+  params.routers = 80;
+  params.vantage_points = 8;
+  params.cluster_size = 4;
+  params.seed = 22;
+  const GeneratedTopology topo = generate_planetlab_like(params);
+  for (const auto& cell : topo.partition) {
+    EXPECT_LE(cell.size(), 4u);
+    // Contiguity: the cell's links form a connected subgraph under
+    // node-sharing adjacency.
+    if (cell.size() < 2) continue;
+    std::set<graph::NodeId> nodes;
+    std::vector<std::set<graph::NodeId>> endpoints;
+    for (graph::LinkId e : cell) {
+      endpoints.push_back(
+          {topo.graph.link(e).src, topo.graph.link(e).dst});
+    }
+    std::vector<bool> reached(cell.size(), false);
+    std::vector<std::size_t> stack{0};
+    reached[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      for (std::size_t j = 0; j < cell.size(); ++j) {
+        if (reached[j]) continue;
+        bool adjacent = false;
+        for (graph::NodeId v : endpoints[i]) {
+          adjacent |= endpoints[j].count(v) > 0;
+        }
+        if (adjacent) {
+          reached[j] = true;
+          ++count;
+          stack.push_back(j);
+        }
+      }
+    }
+    EXPECT_EQ(count, cell.size()) << "non-contiguous cluster";
+  }
+}
+
+TEST(PlanetLab, DeterministicInSeed) {
+  PlanetLabParams params;
+  params.seed = 23;
+  const auto t1 = generate_planetlab_like(params);
+  const auto t2 = generate_planetlab_like(params);
+  EXPECT_EQ(t1.partition, t2.partition);
+}
+
+// ----------------------------------------------------------- traceroute ----
+
+TEST(Traceroute, ParsesTracesAndAsSets) {
+  std::stringstream input(R"(
+# two traces sharing a middle segment
+trace h1 r1 r2 h2
+trace h3 r1 r2 h2
+asn r1 100
+asn r2 100
+)");
+  const graph::MeasuredSystem sys = parse_traceroutes(input);
+  EXPECT_EQ(sys.paths.size(), 2u);
+  EXPECT_EQ(sys.graph.link_count(), 4u);  // h1-r1, r1-r2, r2-h2, h3-r1
+  // The r1->r2 link lives inside AS 100; every other link is a singleton.
+  std::size_t multi = 0;
+  for (const auto& cell : sys.partition) {
+    if (cell.size() > 1) ++multi;
+  }
+  EXPECT_EQ(multi, 0u);  // only one link is intra-AS, so it is a singleton
+  EXPECT_NO_THROW(graph::require_partition(sys.graph, sys.partition));
+}
+
+TEST(Traceroute, GroupsIntraAsLinks) {
+  std::stringstream input(R"(
+trace h1 a b c h2
+trace h3 a b c h4
+asn a 7018
+asn b 7018
+asn c 7018
+)");
+  const graph::MeasuredSystem sys = parse_traceroutes(input);
+  // a->b and b->c are both inside AS 7018: one correlation set of size 2.
+  bool found = false;
+  for (const auto& cell : sys.partition) {
+    if (cell.size() == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Traceroute, CollapsesDuplicateTraces) {
+  std::stringstream input("trace a b c\ntrace a b c\n");
+  const graph::MeasuredSystem sys = parse_traceroutes(input);
+  EXPECT_EQ(sys.paths.size(), 1u);
+}
+
+TEST(Traceroute, RejectsLoopsAndConflicts) {
+  std::stringstream loop("trace a b a\n");
+  EXPECT_THROW(parse_traceroutes(loop), Error);
+  std::stringstream conflict("trace a b\nasn a 1\nasn a 2\n");
+  EXPECT_THROW(parse_traceroutes(conflict), Error);
+  std::stringstream tooshort("trace a\n");
+  EXPECT_THROW(parse_traceroutes(tooshort), Error);
+  std::stringstream empty("# nothing\n");
+  EXPECT_THROW(parse_traceroutes(empty), Error);
+}
+
+}  // namespace
+}  // namespace tomo::topogen

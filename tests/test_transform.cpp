@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "graph/coverage.hpp"
+#include "graph/transform.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace tomo::graph {
+namespace {
+
+TEST(RequirePartition, AcceptsExactCover) {
+  auto sys = tomo::testing::figure_1a();
+  EXPECT_NO_THROW(require_partition(sys.graph, sys.sets.partition()));
+}
+
+TEST(RequirePartition, RejectsMissingAndDuplicateLinks) {
+  auto sys = tomo::testing::figure_1a();
+  LinkPartition missing{{0, 1}, {2}};  // link 3 missing
+  EXPECT_THROW(require_partition(sys.graph, missing), Error);
+  LinkPartition dup{{0, 1}, {1, 2}, {3}};
+  EXPECT_THROW(require_partition(sys.graph, dup), Error);
+  LinkPartition empty_cell{{0, 1, 2, 3}, {}};
+  EXPECT_THROW(require_partition(sys.graph, empty_cell), Error);
+}
+
+TEST(Merge, Figure1aIsAlreadyIdentifiable) {
+  // In Figure 1(a) node b has ingress {e1,e2} (one set) but egress {e3,e4}
+  // in two different sets, so nothing merges.
+  auto sys = tomo::testing::figure_1a();
+  const MergeResult r =
+      merge_indistinguishable(sys.graph, sys.paths, sys.sets.partition());
+  EXPECT_EQ(r.merge_rounds, 0u);
+  EXPECT_EQ(r.graph.link_count(), 4u);
+  EXPECT_EQ(r.paths.size(), 3u);
+}
+
+TEST(Merge, Figure1bMergesThroughTheMiddleNode) {
+  // The paper's §3.3 example: node b (all ingress in {e1,e2}, all egress in
+  // {e3}) is removed; the two paths collapse to single merged links and the
+  // two correlation sets fuse into one set of two merged links.
+  auto sys = tomo::testing::figure_1b();
+  const MergeResult r =
+      merge_indistinguishable(sys.graph, sys.paths, sys.sets.partition());
+  EXPECT_EQ(r.merge_rounds, 1u);
+  EXPECT_EQ(r.graph.link_count(), 2u);
+  ASSERT_EQ(r.paths.size(), 2u);
+  EXPECT_EQ(r.paths[0].length(), 1u);
+  EXPECT_EQ(r.paths[1].length(), 1u);
+  ASSERT_EQ(r.partition.size(), 1u);
+  EXPECT_EQ(r.partition[0].size(), 2u);
+  // Each merged link is composed of one original ingress + e3.
+  ASSERT_EQ(r.composition.size(), 2u);
+  EXPECT_EQ(r.composition[0].size(), 2u);
+  EXPECT_EQ(r.composition[1].size(), 2u);
+}
+
+TEST(Merge, MergedTopologyPreservesEndpoints) {
+  auto sys = tomo::testing::figure_1b();
+  const MergeResult r =
+      merge_indistinguishable(sys.graph, sys.paths, sys.sets.partition());
+  for (std::size_t p = 0; p < sys.paths.size(); ++p) {
+    EXPECT_EQ(r.paths[p].source(), sys.paths[p].source());
+    EXPECT_EQ(r.paths[p].destination(), sys.paths[p].destination());
+  }
+}
+
+TEST(Merge, AllLinksOneSetCollapsesToPathLinks) {
+  // Paper §3.3: if every link of Figure 1(a) is in one correlation set,
+  // the transformation ends with one merged link per end-to-end path.
+  auto sys = tomo::testing::figure_1a();
+  LinkPartition one_set{{0, 1, 2, 3}};
+  const MergeResult r =
+      merge_indistinguishable(sys.graph, sys.paths, one_set);
+  EXPECT_EQ(r.graph.link_count(), 3u);  // one merged link per path
+  for (const Path& p : r.paths) {
+    EXPECT_EQ(p.length(), 1u);
+  }
+  ASSERT_EQ(r.partition.size(), 1u);
+  EXPECT_EQ(r.partition[0].size(), 3u);
+}
+
+TEST(Merge, ResultSatisfiesStructuralCriterion) {
+  // After merging to fixpoint, no intermediate node may still have all
+  // ingress in one cell and all egress in one cell.
+  auto sys = tomo::testing::figure_1b();
+  const MergeResult r =
+      merge_indistinguishable(sys.graph, sys.paths, sys.sets.partition());
+  const CoverageIndex cov(r.graph, r.paths);
+  // All merged links covered by paths.
+  EXPECT_TRUE(cov.all_links_covered());
+}
+
+TEST(Merge, CompositionPartitionsOriginalLinks) {
+  auto sys = tomo::testing::figure_1b();
+  const MergeResult r =
+      merge_indistinguishable(sys.graph, sys.paths, sys.sets.partition());
+  std::vector<int> seen(sys.graph.link_count(), 0);
+  for (const auto& comp : r.composition) {
+    for (LinkId original : comp) {
+      ASSERT_LT(original, seen.size());
+      ++seen[original];
+    }
+  }
+  // e3 (id 2) is traversed by both paths so it appears in both merged
+  // links; e1 and e2 appear exactly once.
+  EXPECT_EQ(seen[0], 1);
+  EXPECT_EQ(seen[1], 1);
+  EXPECT_EQ(seen[2], 2);
+}
+
+}  // namespace
+}  // namespace tomo::graph

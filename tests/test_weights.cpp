@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/correlation_algorithm.hpp"
+#include "core/equations.hpp"
+#include "corr/model_factory.hpp"
+#include "sim/measurement.hpp"
+#include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace tomo::core {
+namespace {
+
+using tomo::testing::figure_1a;
+using tomo::testing::figure_1a_model;
+
+EquationSystem build_fig1a_system() {
+  static auto sys = figure_1a();
+  static auto model = figure_1a_model(sys.sets);
+  static graph::CoverageIndex cov(sys.graph, sys.paths);
+  static sim::OracleMeasurement oracle(*model, cov);
+  return build_equations(cov, sys.sets, oracle);
+}
+
+TEST(VarianceWeights, OracleSystemsAreLeftAlone) {
+  EquationSystem sys = build_fig1a_system();
+  const linalg::Vector y_before = sys.y;
+  apply_variance_weights(sys, /*samples=*/0);
+  EXPECT_EQ(sys.y, y_before);
+}
+
+TEST(VarianceWeights, ScalesRowsAndRhsTogether) {
+  EquationSystem sys = build_fig1a_system();
+  const EquationSystem original = sys;
+  apply_variance_weights(sys, 1000);
+  for (std::size_t i = 0; i < sys.y.size(); ++i) {
+    // Rows and rhs must be scaled by the same factor: the solution of a
+    // consistent system is unchanged.
+    double factor = 0.0;
+    for (std::size_t c = 0; c < sys.a.cols(); ++c) {
+      if (original.a(i, c) != 0.0) {
+        factor = sys.a(i, c) / original.a(i, c);
+        break;
+      }
+    }
+    ASSERT_GT(factor, 0.0);
+    EXPECT_NEAR(sys.y[i], original.y[i] * factor, 1e-12);
+  }
+}
+
+TEST(VarianceWeights, WellSupportedEquationsWeighMore) {
+  // prob 0.9 (well supported) vs prob 0.1 (thin): the 0.9 equation's
+  // variance (1-p)/(pN) is smaller, so its weight is larger.
+  EquationSystem sys;
+  sys.link_count = 2;
+  sys.equations.push_back(Equation{{0}, {0}, std::log(0.9)});
+  sys.equations.push_back(Equation{{1}, {1}, std::log(0.1)});
+  sys.a = linalg::Matrix(2, 2);
+  sys.a(0, 0) = 1.0;
+  sys.a(1, 1) = 1.0;
+  sys.y = {std::log(0.9), std::log(0.1)};
+  apply_variance_weights(sys, 1000);
+  EXPECT_GT(sys.a(0, 0), sys.a(1, 1));
+}
+
+TEST(VarianceWeights, ConsistentSolutionUnchanged) {
+  // Weighting a consistent full-rank system must not move the solution.
+  auto sys = figure_1a();
+  auto model = figure_1a_model(sys.sets);
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  const sim::OracleMeasurement oracle(*model, cov);
+  EquationSystem eq = build_equations(cov, sys.sets, oracle);
+  const auto unweighted = linalg::solve_log_system(eq.a, eq.y);
+  apply_variance_weights(eq, 5000);  // pretend 5000 snapshots
+  const auto weighted = linalg::solve_log_system(eq.a, eq.y);
+  for (std::size_t k = 0; k < unweighted.x.size(); ++k) {
+    EXPECT_NEAR(weighted.x[k], unweighted.x[k], 1e-6);
+  }
+}
+
+TEST(VarianceWeights, EndToEndOptionStaysAccurate) {
+  auto sys = figure_1a();
+  auto model = figure_1a_model(sys.sets);
+  const graph::CoverageIndex cov(sys.graph, sys.paths);
+  sim::SimulatorConfig config;
+  config.snapshots = 20000;
+  config.mode = sim::PacketMode::kExact;
+  config.seed = 77;
+  const auto simr = sim::simulate(sys.graph, sys.paths, *model, config);
+  const sim::EmpiricalMeasurement meas(simr.observations);
+  InferenceOptions options;
+  options.weight_by_variance = true;
+  const InferenceResult r = infer_congestion(sys.graph, sys.paths, cov,
+                                             sys.sets, meas, options);
+  for (graph::LinkId e = 0; e < 4; ++e) {
+    EXPECT_NEAR(r.congestion_prob[e], model->marginal(e), 0.03)
+        << "link " << e;
+  }
+}
+
+}  // namespace
+}  // namespace tomo::core
