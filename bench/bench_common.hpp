@@ -16,21 +16,27 @@ namespace tomo::bench {
 struct Settings {
   bool full = false;
   bool csv = false;
-  std::size_t snapshots = 1000;
-  std::size_t packets = 500;
+  std::size_t snapshots = 2000;
+  std::size_t packets = 4000;
   std::size_t trials = 3;
   std::uint64_t seed = 1;
 };
 
-/// Registers the flags every experiment binary shares.
+/// Registers the flags every experiment binary shares. Defaults come from
+/// a default-constructed Settings so --help always matches behavior.
 inline void add_common_flags(Flags& flags) {
-  flags.add_bool("full", false,
+  const Settings defaults;
+  flags.add_bool("full", defaults.full,
                  "paper-scale topologies (slower; shapes are identical)");
-  flags.add_bool("csv", false, "emit CSV instead of an aligned table");
-  flags.add_int("snapshots", 2000, "snapshots per experiment");
-  flags.add_int("packets", 4000, "probe packets per path per snapshot");
-  flags.add_int("trials", 3, "independent trials averaged per data point");
-  flags.add_int("seed", 1, "base RNG seed");
+  flags.add_bool("csv", defaults.csv, "emit CSV instead of an aligned table");
+  flags.add_int("snapshots", static_cast<std::int64_t>(defaults.snapshots),
+                "snapshots per experiment");
+  flags.add_int("packets", static_cast<std::int64_t>(defaults.packets),
+                "probe packets per path per snapshot");
+  flags.add_int("trials", static_cast<std::int64_t>(defaults.trials),
+                "independent trials averaged per data point");
+  flags.add_int("seed", static_cast<std::int64_t>(defaults.seed),
+                "base RNG seed");
 }
 
 inline Settings settings_from_flags(const Flags& flags) {
