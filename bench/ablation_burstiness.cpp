@@ -21,19 +21,19 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("ablation_burstiness", s);
 
   Table table({"burst_length", "correlation_mean_err",
                "independence_mean_err"});
   std::cout << "# Ablation — mean burst length of congestion episodes "
                "(same stationary marginals; 10% congested, PlanetLab)\n";
   for (const double burst : {1.0, 4.0, 16.0, 64.0}) {
-    double corr_sum = 0.0, ind_sum = 0.0;
-    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
       core::ScenarioConfig scenario;
       scenario.topology = core::TopologyKind::kPlanetLab;
       bench::apply_scale(scenario, s);
       scenario.congested_fraction = 0.10;
-      scenario.seed = mix_seed(s.seed, 0xb0 + trial);
+      scenario.seed = ctx.seed(0xb0);
       const auto inst = core::build_scenario(scenario);
 
       // Rebuild the scenario's shock model as a Gilbert model with the
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
       }
       corr::GilbertShockModel truth(inst.declared_sets, base, shocks);
 
-      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
       const graph::CoverageIndex coverage(inst.graph, inst.paths);
       const auto simr =
           sim::simulate(inst.graph, inst.paths, truth, config.sim);
@@ -76,14 +76,21 @@ int main(int argc, char** argv) {
       const auto ri = core::infer_congestion_independent(
           inst.graph, inst.paths, coverage, meas);
       const auto truth_marginals = truth.marginals();
-      corr_sum += mean(metrics::absolute_errors(
-          truth_marginals, rc.congestion_prob, {}));
-      ind_sum += mean(metrics::absolute_errors(
-          truth_marginals, ri.congestion_prob, {}));
+      return std::pair(
+          mean(metrics::absolute_errors(truth_marginals, rc.congestion_prob,
+                                        {})),
+          mean(metrics::absolute_errors(truth_marginals, ri.congestion_prob,
+                                        {})));
+    });
+    double corr_sum = 0.0, ind_sum = 0.0;
+    for (const auto& outcome : outcomes) {
+      corr_sum += outcome.value.first;
+      ind_sum += outcome.value.second;
     }
     table.add_row({Table::fmt(burst, 0), Table::fmt(corr_sum / s.trials),
                    Table::fmt(ind_sum / s.trials)});
   }
-  bench::emit(table, s);
+  run.table("ablation_burstiness", table);
+  run.finish();
   return 0;
 }

@@ -1,6 +1,7 @@
 // Ablation: value of the pair equations (paper Eq. 10). Compares
 // singles-only against singles+pairs on the Fig 3(c) scenario, reporting
 // system rank and accuracy.
+#include <array>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -13,30 +14,39 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("ablation_equations", s);
 
   Table table({"equations", "rank_fraction", "n1", "n2",
                "correlation_mean_err", "correlation_p90_err"});
   std::cout << "# Ablation — single-path equations only vs + pair "
                "equations (10% congested, high correlation, Brite)\n";
   for (const bool use_pairs : {false, true}) {
-    double mean_sum = 0.0, p90_sum = 0.0, rank_sum = 0.0;
-    double n1_sum = 0.0, n2_sum = 0.0;
-    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
       core::ScenarioConfig scenario;
       scenario.topology = core::TopologyKind::kBrite;
       bench::apply_scale(scenario, s);
       scenario.congested_fraction = 0.10;
-      scenario.seed = mix_seed(s.seed, 0xab20 + trial);
+      scenario.seed = ctx.seed(0xab20);
       const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
       config.inference.equations.use_pairs = use_pairs;
       const auto result = core::run_experiment(inst, config);
-      mean_sum += mean(result.correlation_errors());
-      p90_sum += percentile(result.correlation_errors(), 90.0);
-      rank_sum += static_cast<double>(result.correlation.system.rank) /
-                  static_cast<double>(result.correlation.system.link_count);
-      n1_sum += static_cast<double>(result.correlation.system.n1);
-      n2_sum += static_cast<double>(result.correlation.system.n2);
+      return std::array<double, 5>{
+          mean(result.correlation_errors()),
+          percentile(result.correlation_errors(), 90.0),
+          static_cast<double>(result.correlation.system.rank) /
+              static_cast<double>(result.correlation.system.link_count),
+          static_cast<double>(result.correlation.system.n1),
+          static_cast<double>(result.correlation.system.n2)};
+    });
+    double mean_sum = 0.0, p90_sum = 0.0, rank_sum = 0.0;
+    double n1_sum = 0.0, n2_sum = 0.0;
+    for (const auto& outcome : outcomes) {
+      mean_sum += outcome.value[0];
+      p90_sum += outcome.value[1];
+      rank_sum += outcome.value[2];
+      n1_sum += outcome.value[3];
+      n2_sum += outcome.value[4];
     }
     table.add_row({use_pairs ? "singles+pairs" : "singles-only",
                    Table::fmt(rank_sum / s.trials, 3),
@@ -45,6 +55,7 @@ int main(int argc, char** argv) {
                    Table::fmt(mean_sum / s.trials),
                    Table::fmt(p90_sum / s.trials)});
   }
-  bench::emit(table, s);
+  run.table("ablation_equations", table);
+  run.finish();
   return 0;
 }

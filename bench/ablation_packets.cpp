@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("ablation_packets", s);
 
   Table table({"packets_per_path", "correlation_mean_err",
                "independence_mean_err"});
@@ -24,24 +25,29 @@ int main(int argc, char** argv) {
                "congested, high correlation, Brite)\n";
   for (const std::size_t packets : {100u, 250u, 500u, 1000u, 2000u,
                                     4000u}) {
-    double corr_sum = 0.0, ind_sum = 0.0;
-    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
       core::ScenarioConfig scenario;
       scenario.topology = core::TopologyKind::kBrite;
       bench::apply_scale(scenario, s);
       scenario.congested_fraction = 0.10;
-      scenario.seed = mix_seed(s.seed, 0xab40 + trial);
+      scenario.seed = ctx.seed(0xab40);
       const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
       config.sim.packets_per_path = packets;
       const auto result = core::run_experiment(inst, config);
-      corr_sum += mean(result.correlation_errors());
-      ind_sum += mean(result.independence_errors());
+      return std::pair(mean(result.correlation_errors()),
+                       mean(result.independence_errors()));
+    });
+    double corr_sum = 0.0, ind_sum = 0.0;
+    for (const auto& outcome : outcomes) {
+      corr_sum += outcome.value.first;
+      ind_sum += outcome.value.second;
     }
     table.add_row({std::to_string(packets),
                    Table::fmt(corr_sum / s.trials),
                    Table::fmt(ind_sum / s.trials)});
   }
-  bench::emit(table, s);
+  run.table("ablation_packets", table);
+  run.finish();
   return 0;
 }

@@ -1,5 +1,6 @@
 // Ablation: how much does the choice of solver for the log-domain system
 // matter? Runs the Fig 3(c) scenario with each of the four solvers.
+#include <array>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -15,35 +16,46 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("ablation_solver", s);
 
-  Table table({"solver", "correlation_mean_err", "correlation_p90_err",
-               "solve_seconds"});
+  // Per-solver wall times go to the JSON metrics, not this table: stdout
+  // must stay byte-identical across --jobs, and timings are not.
+  Table table({"solver", "correlation_mean_err", "correlation_p90_err"});
   std::cout << "# Ablation — solver choice (10% congested, high "
                "correlation, Brite)\n";
   for (const auto solver :
        {linalg::SolverKind::kNnls, linalg::SolverKind::kLeastSquares,
         linalg::SolverKind::kL1Lp, linalg::SolverKind::kIrls}) {
-    double mean_sum = 0.0, p90_sum = 0.0, seconds = 0.0;
-    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
       core::ScenarioConfig scenario;
       scenario.topology = core::TopologyKind::kBrite;
       bench::apply_scale(scenario, s);
       scenario.congested_fraction = 0.10;
-      scenario.seed = mix_seed(s.seed, 0xab10 + trial);
+      scenario.seed = ctx.seed(0xab10);
       const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
       config.inference.solver = solver;
-      Stopwatch sw;
+      const Stopwatch stopwatch;
       const auto result = core::run_experiment(inst, config);
-      seconds += sw.seconds();
-      mean_sum += mean(result.correlation_errors());
-      p90_sum += percentile(result.correlation_errors(), 90.0);
+      const double seconds = stopwatch.seconds();
+      return std::array<double, 3>{mean(result.correlation_errors()),
+                                   percentile(result.correlation_errors(),
+                                              90.0),
+                                   seconds};
+    });
+    double mean_sum = 0.0, p90_sum = 0.0, seconds = 0.0;
+    for (const auto& outcome : outcomes) {
+      mean_sum += outcome.value[0];
+      p90_sum += outcome.value[1];
+      seconds += outcome.value[2];
     }
     table.add_row({linalg::to_string(solver),
                    Table::fmt(mean_sum / s.trials),
-                   Table::fmt(p90_sum / s.trials),
-                   Table::fmt(seconds / s.trials, 3)});
+                   Table::fmt(p90_sum / s.trials)});
+    run.metric(std::string("solve_seconds_") + linalg::to_string(solver),
+               seconds / static_cast<double>(s.trials));
   }
-  bench::emit(table, s);
+  run.table("ablation_solver", table);
+  run.finish();
   return 0;
 }

@@ -13,36 +13,38 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("ablation_weighting", s);
 
   Table table({"snapshots", "unweighted_mean_err", "weighted_mean_err"});
   std::cout << "# Ablation — variance weighting of equations "
                "(correlation algorithm; 10% congested, Brite)\n";
   for (const std::size_t snapshots : {125u, 500u, 2000u}) {
-    double plain_sum = 0.0, weighted_sum = 0.0;
-    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
       core::ScenarioConfig scenario;
       scenario.topology = core::TopologyKind::kBrite;
       bench::apply_scale(scenario, s);
       scenario.congested_fraction = 0.10;
-      scenario.seed = mix_seed(s.seed, 0xab50 + trial);
+      scenario.seed = ctx.seed(0xab50);
       const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, trial);
+      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
       config.sim.snapshots = snapshots;
-      {
-        config.inference.weight_by_variance = false;
-        const auto r = core::run_experiment(inst, config);
-        plain_sum += mean(r.correlation_errors());
-      }
-      {
-        config.inference.weight_by_variance = true;
-        const auto r = core::run_experiment(inst, config);
-        weighted_sum += mean(r.correlation_errors());
-      }
+      config.inference.weight_by_variance = false;
+      const auto plain = core::run_experiment(inst, config);
+      config.inference.weight_by_variance = true;
+      const auto weighted = core::run_experiment(inst, config);
+      return std::pair(mean(plain.correlation_errors()),
+                       mean(weighted.correlation_errors()));
+    });
+    double plain_sum = 0.0, weighted_sum = 0.0;
+    for (const auto& outcome : outcomes) {
+      plain_sum += outcome.value.first;
+      weighted_sum += outcome.value.second;
     }
     table.add_row({std::to_string(snapshots),
                    Table::fmt(plain_sum / s.trials),
                    Table::fmt(weighted_sum / s.trials)});
   }
-  bench::emit(table, s);
+  run.table("ablation_weighting", table);
+  run.finish();
   return 0;
 }

@@ -1,15 +1,23 @@
 // Shared plumbing for the figure-reproduction binaries: common flags,
-// scenario scaling, and multi-trial averaging.
+// scenario scaling, the parallel trial engine, and result emission
+// (aligned table / CSV on stdout, JSON telemetry on request).
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/run_trials.hpp"
+#include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tomo::bench {
 
@@ -19,7 +27,11 @@ struct Settings {
   std::size_t snapshots = 2000;
   std::size_t packets = 4000;
   std::size_t trials = 3;
+  std::size_t jobs = 0;  // trial-level parallelism; 0 = all hardware cores
   std::uint64_t seed = 1;
+  /// JSON telemetry destination: "" disables, "auto" writes
+  /// BENCH_<name>.json in the working directory, anything else is a path.
+  std::string json;
 };
 
 /// Registers the flags every experiment binary shares. Defaults come from
@@ -35,8 +47,14 @@ inline void add_common_flags(Flags& flags) {
                 "probe packets per path per snapshot");
   flags.add_int("trials", static_cast<std::int64_t>(defaults.trials),
                 "independent trials averaged per data point");
+  flags.add_int("jobs", static_cast<std::int64_t>(defaults.jobs),
+                "worker threads for trials (0 = all hardware cores); "
+                "results are identical for any value");
   flags.add_int("seed", static_cast<std::int64_t>(defaults.seed),
                 "base RNG seed");
+  flags.add_string("json", defaults.json,
+                   "write JSON telemetry: 'auto' = BENCH_<name>.json, else "
+                   "a path; empty disables");
 }
 
 inline Settings settings_from_flags(const Flags& flags) {
@@ -46,7 +64,9 @@ inline Settings settings_from_flags(const Flags& flags) {
   s.snapshots = static_cast<std::size_t>(flags.get_int("snapshots"));
   s.packets = static_cast<std::size_t>(flags.get_int("packets"));
   s.trials = static_cast<std::size_t>(flags.get_int("trials"));
+  s.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
   s.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  s.json = flags.get_string("json");
   return s;
 }
 
@@ -82,5 +102,107 @@ inline void emit(const Table& table, const Settings& s) {
     table.print_text(std::cout);
   }
 }
+
+/// One bench invocation: wraps the trial engine and records everything a
+/// future run needs to compare against — settings, per-trial wall times,
+/// every emitted table, and scalar summary metrics — then serializes it
+/// to BENCH_<name>.json when --json is set.
+///
+/// The stdout tables stay byte-identical across --jobs values (callers
+/// reduce trial outcomes in index order); wall times live only in the
+/// JSON, which is telemetry, not metric output.
+class Run {
+ public:
+  Run(std::string name, Settings settings)
+      : name_(std::move(name)), settings_(std::move(settings)) {}
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  ~Run() {
+    try {
+      finish();
+    } catch (...) {
+      // Destructors must not throw; an explicit finish() reports errors.
+    }
+  }
+
+  const Settings& settings() const { return settings_; }
+
+  /// Fans `--trials` independent executions of `body` across `--jobs`
+  /// workers; returns outcomes in trial order and records their wall
+  /// times. May be called once per data point (series benches) or once
+  /// per binary.
+  template <typename Body>
+  auto trials(Body&& body) {
+    auto outcomes = core::run_trials(settings_.trials, settings_.jobs,
+                                     settings_.seed, std::forward<Body>(body));
+    for (const auto& outcome : outcomes) {
+      trial_seconds_.push_back(outcome.seconds);
+    }
+    return outcomes;
+  }
+
+  /// Emits the table to stdout (honoring --csv) and records it for JSON.
+  void table(const std::string& label, const Table& t) {
+    emit(t, settings_);
+    util::Json rows = util::Json::array();
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      rows.push(util::Json::array_of(t.row(i)));
+    }
+    tables_.push(util::Json::object()
+                     .set("label", label)
+                     .set("header", util::Json::array_of(t.header()))
+                     .set("rows", std::move(rows)));
+  }
+
+  /// Records a scalar summary metric (e.g. an overall mean error).
+  Run& metric(const std::string& key, double value) {
+    metrics_.set(key, value);
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json (or the explicit --json path). Idempotent;
+  /// called from the destructor as a safety net.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (settings_.json.empty()) return;
+    const std::string path =
+        settings_.json == "auto" ? "BENCH_" + name_ + ".json" : settings_.json;
+    util::Json doc = util::Json::object();
+    doc.set("name", name_)
+        .set("schema_version", 1)
+        .set("settings", util::Json::object()
+                             .set("full", settings_.full)
+                             .set("csv", settings_.csv)
+                             .set("snapshots", settings_.snapshots)
+                             .set("packets", settings_.packets)
+                             .set("trials", settings_.trials)
+                             .set("jobs", settings_.jobs)
+                             .set("jobs_resolved",
+                                  util::resolve_jobs(settings_.jobs))
+                             .set("seed", settings_.seed))
+        .set("trials_run", trial_seconds_.size())
+        .set("trial_seconds", util::Json::array_of(trial_seconds_))
+        .set("total_seconds", total_.seconds())
+        .set("metrics", std::move(metrics_))
+        .set("tables", std::move(tables_));
+    std::ofstream out(path);
+    TOMO_REQUIRE(out.good(), "cannot open JSON telemetry path: " + path);
+    doc.write(out);
+    // Telemetry note goes to stderr so stdout stays byte-comparable.
+    std::cerr << name_ << ": wrote " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  Settings settings_;
+  Stopwatch total_;
+  std::vector<double> trial_seconds_;
+  util::Json tables_ = util::Json::array();
+  util::Json metrics_ = util::Json::object();
+  bool finished_ = false;
+};
 
 }  // namespace tomo::bench

@@ -1,15 +1,26 @@
 // Figure 1 / §3.1-3.2 tables: executable documentation of the paper's
 // proof illustration. Prints, for both toy topologies, the ψ coverage
-// table of every correlation subset, the Assumption-4 verdict, and (for
-// Figure 1(a)) the congestion factors α_A recovered by the theorem
-// algorithm next to their definitional values.
+// table of every correlation subset and the Assumption-4 verdict; then,
+// for Figure 1(a), the congestion factors α_A recovered by the theorem
+// algorithm from the *exact* oracle next to their definitional values;
+// and finally the same factors recovered from *simulated measurements* —
+// --trials independent experiments (fanned across --jobs workers) of
+// --snapshots snapshots at --packets probes each, with a bootstrap
+// confidence interval per factor (--replicates resamples per trial).
+#include <array>
+#include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
+#include "core/bootstrap.hpp"
 #include "core/theorem_algorithm.hpp"
 #include "corr/identifiability.hpp"
 #include "corr/joint_table.hpp"
 #include "graph/coverage.hpp"
+#include "sim/measurement.hpp"
 #include "sim/oracle.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,6 +59,30 @@ Toy figure_1b() {
   return t;
 }
 
+/// The worked §3.2 joint model on Figure 1(a).
+corr::JointTableModel worked_model(const Toy& toy) {
+  corr::SetDistribution d0;
+  d0.prob = {0.65, 0.10, 0.05, 0.20};
+  corr::SetDistribution d1;
+  d1.prob = {0.85, 0.15};
+  corr::SetDistribution d2;
+  d2.prob = {0.60, 0.40};
+  return corr::JointTableModel(toy.sets, {d0, d1, d2});
+}
+
+constexpr std::size_t kAlphaCount = 5;
+constexpr std::array<const char*, kAlphaCount> kAlphaNames = {
+    "{e1}", "{e2}", "{e1,e2}", "{e3}", "{e4}"};
+// alpha_A = P(S^p=A)/P(S^p=0) per set, from the worked distributions.
+constexpr std::array<double, kAlphaCount> kAlphaDefinition = {
+    0.10 / 0.65, 0.05 / 0.65, 0.20 / 0.65, 0.15 / 0.85, 0.40 / 0.60};
+
+std::array<double, kAlphaCount> extract_alphas(
+    const core::TheoremResult& r) {
+  return {r.alpha[0][1], r.alpha[0][2], r.alpha[0][3], r.alpha[1][1],
+          r.alpha[2][1]};
+}
+
 std::string link_set_name(const std::vector<graph::LinkId>& links) {
   std::string out = "{";
   for (std::size_t i = 0; i < links.size(); ++i) {
@@ -64,7 +99,7 @@ std::string path_set_name(const graph::PathIdSet& paths) {
   return out + "}";
 }
 
-void psi_table(const Toy& toy, const char* title) {
+void psi_table(bench::Run& run, const Toy& toy, const char* title) {
   const graph::CoverageIndex cov(toy.graph, toy.paths);
   std::cout << "# " << title << "\n";
   Table table({"A in C-tilde", "psi(A)"});
@@ -73,7 +108,7 @@ void psi_table(const Toy& toy, const char* title) {
     table.add_row({link_set_name(subset.links),
                    path_set_name(cov.covered_paths(subset.links))});
   }
-  table.print_text(std::cout);
+  run.table(title, table);
   const auto report = corr::check_identifiability(cov, toy.sets);
   std::cout << "Assumption 4 " << (report.holds ? "HOLDS" : "VIOLATED");
   if (!report.holds) {
@@ -84,37 +119,150 @@ void psi_table(const Toy& toy, const char* title) {
   std::cout << "\n\n";
 }
 
+struct McTrial {
+  bool valid = false;  // false: the simulation was too degenerate to solve
+  std::array<double, kAlphaCount> estimate{};
+  std::array<double, kAlphaCount> ci_lo{};
+  std::array<double, kAlphaCount> ci_hi{};
+};
+
 }  // namespace
 
-int main() {
-  psi_table(figure_1a(), "Figure 1(a): correlation-subset coverage table");
-  psi_table(figure_1b(), "Figure 1(b): correlation-subset coverage table");
+int main(int argc, char** argv) {
+  Flags flags("fig1_tables",
+              "Fig 1 / §3.1-3.2: coverage tables and congestion factors");
+  bench::add_common_flags(flags);
+  flags.add_int("replicates", 1000,
+                "bootstrap resamples per trial for the alpha CIs");
+  if (!flags.parse(argc, argv)) return 0;
+  const bench::Settings s = bench::settings_from_flags(flags);
+  const std::size_t replicates =
+      static_cast<std::size_t>(flags.get_int("replicates"));
+  bench::Run run("fig1_tables", s);
 
-  // §3.2: congestion factors on Figure 1(a) with the worked joint model.
-  Toy toy = figure_1a();
-  corr::SetDistribution d0;
-  d0.prob = {0.65, 0.10, 0.05, 0.20};
-  corr::SetDistribution d1;
-  d1.prob = {0.85, 0.15};
-  corr::SetDistribution d2;
-  d2.prob = {0.60, 0.40};
-  corr::JointTableModel truth(toy.sets, {d0, d1, d2});
-  const graph::CoverageIndex cov(toy.graph, toy.paths);
-  const sim::OracleMeasurement oracle(truth, cov);
-  const core::TheoremResult r =
-      core::run_theorem_algorithm(cov, toy.sets, oracle);
+  psi_table(run, figure_1a(),
+            "Figure 1(a): correlation-subset coverage table");
+  psi_table(run, figure_1b(),
+            "Figure 1(b): correlation-subset coverage table");
 
-  std::cout << "# §3.2 congestion factors on Figure 1(a) — theorem "
-               "algorithm vs definition (alpha_A = P(S^p=A)/P(S^p=0))\n";
-  Table table({"A", "alpha_recovered", "alpha_definition"});
-  const auto row = [&](const char* name, double rec, double def) {
-    table.add_row({name, Table::fmt(rec, 6), Table::fmt(def, 6)});
-  };
-  row("{e1}", r.alpha[0][1], 0.10 / 0.65);
-  row("{e2}", r.alpha[0][2], 0.05 / 0.65);
-  row("{e1,e2}", r.alpha[0][3], 0.20 / 0.65);
-  row("{e3}", r.alpha[1][1], 0.15 / 0.85);
-  row("{e4}", r.alpha[2][1], 0.40 / 0.60);
-  table.print_text(std::cout);
+  // §3.2: congestion factors on Figure 1(a) with the worked joint model,
+  // recovered from the exact oracle (no sampling error).
+  {
+    const Toy toy = figure_1a();
+    const corr::JointTableModel truth = worked_model(toy);
+    const graph::CoverageIndex cov(toy.graph, toy.paths);
+    const sim::OracleMeasurement oracle(truth, cov);
+    const core::TheoremResult r =
+        core::run_theorem_algorithm(cov, toy.sets, oracle);
+    const auto recovered = extract_alphas(r);
+
+    std::cout << "# §3.2 congestion factors on Figure 1(a) — theorem "
+                 "algorithm vs definition (alpha_A = P(S^p=A)/P(S^p=0))\n";
+    Table table({"A", "alpha_recovered", "alpha_definition"});
+    for (std::size_t i = 0; i < kAlphaCount; ++i) {
+      table.add_row({kAlphaNames[i], Table::fmt(recovered[i], 6),
+                     Table::fmt(kAlphaDefinition[i], 6)});
+    }
+    run.table("oracle congestion factors", table);
+  }
+
+  // The same recovery from simulated measurements: each trial simulates
+  // --snapshots snapshots of the worked model, runs the theorem algorithm
+  // on the empirical pattern probabilities, and bootstraps the snapshot
+  // axis for a 90% CI per factor. Trials are independent and fan across
+  // --jobs workers; aggregation is in trial order, so the table below is
+  // identical for any --jobs.
+  const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
+    const Toy toy = figure_1a();
+    const corr::JointTableModel truth = worked_model(toy);
+    const graph::CoverageIndex cov(toy.graph, toy.paths);
+
+    sim::SimulatorConfig sim_config;
+    sim_config.snapshots = s.snapshots;
+    sim_config.packets_per_path = s.packets;
+    sim_config.mode = sim::PacketMode::kBinomial;
+    sim_config.seed = ctx.seed(0x1a00);
+    const auto simr =
+        sim::simulate(toy.graph, toy.paths, truth, sim_config);
+
+    McTrial trial;
+    try {
+      const sim::EmpiricalMeasurement meas(simr.observations);
+      trial.estimate =
+          extract_alphas(core::run_theorem_algorithm(cov, toy.sets, meas));
+      trial.valid = true;
+    } catch (const Error&) {
+      // A pattern the algorithm needs was never observed (tiny
+      // --snapshots / unlucky seed); report the trial as unusable
+      // instead of aborting the binary.
+      return trial;
+    }
+
+    // Percentile bootstrap over snapshot resamples. A replicate can fail
+    // when a resample leaves a needed pattern unobserved (tiny
+    // --snapshots); those replicates are dropped, deterministically.
+    std::array<std::vector<double>, kAlphaCount> samples;
+    Rng boot_rng(ctx.seed(0x1b00));
+    for (std::size_t b = 0; b < replicates; ++b) {
+      const auto resampled =
+          core::resample_snapshots(simr.observations, boot_rng);
+      try {
+        const sim::EmpiricalMeasurement meas(resampled);
+        const auto alphas =
+            extract_alphas(core::run_theorem_algorithm(cov, toy.sets, meas));
+        for (std::size_t i = 0; i < kAlphaCount; ++i) {
+          samples[i].push_back(alphas[i]);
+        }
+      } catch (const Error&) {
+        // degenerate resample; skip
+      }
+    }
+    for (std::size_t i = 0; i < kAlphaCount; ++i) {
+      if (samples[i].empty()) {
+        trial.ci_lo[i] = trial.ci_hi[i] = trial.estimate[i];
+      } else {
+        trial.ci_lo[i] = percentile(samples[i], 5.0);
+        trial.ci_hi[i] = percentile(samples[i], 95.0);
+      }
+    }
+    return trial;
+  });
+
+  std::array<double, kAlphaCount> est_sum{}, lo_sum{}, hi_sum{};
+  double abs_err_sum = 0.0;
+  std::size_t valid_trials = 0;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.value.valid) continue;
+    ++valid_trials;
+    for (std::size_t i = 0; i < kAlphaCount; ++i) {
+      est_sum[i] += outcome.value.estimate[i];
+      lo_sum[i] += outcome.value.ci_lo[i];
+      hi_sum[i] += outcome.value.ci_hi[i];
+      abs_err_sum +=
+          std::abs(outcome.value.estimate[i] - kAlphaDefinition[i]);
+    }
+  }
+
+  std::cout << "\n# §3.2 congestion factors from simulated measurements — "
+            << valid_trials << " usable of " << s.trials << " trial(s) x "
+            << s.snapshots << " snapshots, 90% bootstrap CI\n";
+  if (valid_trials == 0) {
+    std::cout << "(no usable trials: every simulation missed a pattern the "
+                 "theorem algorithm needs; raise --snapshots)\n";
+  } else {
+    const double trials = static_cast<double>(valid_trials);
+    Table mc_table({"A", "alpha_definition", "alpha_mc_mean", "ci90_lo",
+                    "ci90_hi"});
+    for (std::size_t i = 0; i < kAlphaCount; ++i) {
+      mc_table.add_row({kAlphaNames[i], Table::fmt(kAlphaDefinition[i], 6),
+                        Table::fmt(est_sum[i] / trials, 6),
+                        Table::fmt(lo_sum[i] / trials, 6),
+                        Table::fmt(hi_sum[i] / trials, 6)});
+    }
+    run.table("monte-carlo congestion factors", mc_table);
+    run.metric("alpha_mean_abs_err",
+               abs_err_sum / (trials * static_cast<double>(kAlphaCount)));
+  }
+  run.finish();
   return 0;
 }

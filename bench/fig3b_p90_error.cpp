@@ -12,30 +12,36 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("fig3b_p90_error", s);
 
   Table table({"congested_links_pct", "correlation_p90_err",
                "independence_p90_err"});
   std::cout << "# Fig 3(b) — 90th percentile of the absolute error, "
                "congested links highly correlated (Brite)\n";
   for (const double pct : {5.0, 10.0, 15.0, 20.0, 25.0}) {
-    double corr_sum = 0.0, ind_sum = 0.0;
-    for (std::size_t trial = 0; trial < s.trials; ++trial) {
+    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
       core::ScenarioConfig scenario;
       scenario.topology = core::TopologyKind::kBrite;
       bench::apply_scale(scenario, s);
       scenario.congested_fraction = pct / 100.0;
       scenario.level = core::CorrelationLevel::kHigh;
-      scenario.seed = mix_seed(s.seed, 0x3b00 + trial);
+      scenario.seed = ctx.seed(0x3b00);
       const auto inst = core::build_scenario(scenario);
       const auto result =
-          core::run_experiment(inst, bench::experiment_config(s, trial));
-      corr_sum += percentile(result.correlation_errors(), 90.0);
-      ind_sum += percentile(result.independence_errors(), 90.0);
+          core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
+      return std::pair(percentile(result.correlation_errors(), 90.0),
+                       percentile(result.independence_errors(), 90.0));
+    });
+    double corr_sum = 0.0, ind_sum = 0.0;
+    for (const auto& outcome : outcomes) {
+      corr_sum += outcome.value.first;
+      ind_sum += outcome.value.second;
     }
     table.add_row({Table::fmt(pct, 0),
                    Table::fmt(corr_sum / s.trials),
                    Table::fmt(ind_sum / s.trials)});
   }
-  bench::emit(table, s);
+  run.table("fig3b_p90_error", table);
+  run.finish();
   return 0;
 }

@@ -12,20 +12,24 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("fig3d_cdf_loose_corr", s);
 
-  std::vector<double> corr_errors, ind_errors;
-  for (std::size_t trial = 0; trial < s.trials; ++trial) {
+  const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
     core::ScenarioConfig scenario;
     scenario.topology = core::TopologyKind::kBrite;
     bench::apply_scale(scenario, s);
     scenario.congested_fraction = 0.10;
     scenario.level = core::CorrelationLevel::kLoose;
-    scenario.seed = mix_seed(s.seed, 0x3d00 + trial);
+    scenario.seed = ctx.seed(0x3d00);
     const auto inst = core::build_scenario(scenario);
     const auto result =
-        core::run_experiment(inst, bench::experiment_config(s, trial));
-    const auto ce = result.correlation_errors();
-    const auto ie = result.independence_errors();
+        core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
+    return std::pair(result.correlation_errors(),
+                     result.independence_errors());
+  });
+  std::vector<double> corr_errors, ind_errors;
+  for (const auto& outcome : outcomes) {
+    const auto& [ce, ie] = outcome.value;
     corr_errors.insert(corr_errors.end(), ce.begin(), ce.end());
     ind_errors.insert(ind_errors.end(), ie.begin(), ie.end());
   }
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
                    Table::fmt(corr_cdf[i].percent, 1),
                    Table::fmt(ind_cdf[i].percent, 1)});
   }
-  bench::emit(table, s);
+  run.table("fig3d_cdf_loose_corr", table);
+  run.finish();
   return 0;
 }

@@ -9,12 +9,12 @@
 
 namespace {
 
-void run_panel(const tomo::bench::Settings& s, tomo::core::TopologyKind topo,
+void run_panel(tomo::bench::Run& run, tomo::core::TopologyKind topo,
                double mislabeled_fraction, const char* label,
                std::uint64_t tag) {
   using namespace tomo;
-  std::vector<double> corr_errors, ind_errors;
-  for (std::size_t trial = 0; trial < s.trials; ++trial) {
+  const bench::Settings& s = run.settings();
+  const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
     core::ScenarioConfig scenario;
     scenario.topology = topo;
     bench::apply_scale(scenario, s);
@@ -22,12 +22,16 @@ void run_panel(const tomo::bench::Settings& s, tomo::core::TopologyKind topo,
     scenario.level = core::CorrelationLevel::kHigh;
     scenario.mislabeled_fraction = mislabeled_fraction;
     scenario.worm_rho = 0.4;
-    scenario.seed = mix_seed(s.seed, tag + trial);
+    scenario.seed = ctx.seed(tag);
     const auto inst = core::build_scenario(scenario);
     const auto result =
-        core::run_experiment(inst, bench::experiment_config(s, trial));
-    const auto ce = result.correlation_errors();
-    const auto ie = result.independence_errors();
+        core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
+    return std::pair(result.correlation_errors(),
+                     result.independence_errors());
+  });
+  std::vector<double> corr_errors, ind_errors;
+  for (const auto& outcome : outcomes) {
+    const auto& [ce, ie] = outcome.value;
     corr_errors.insert(corr_errors.end(), ce.begin(), ce.end());
     ind_errors.insert(ind_errors.end(), ie.begin(), ie.end());
   }
@@ -41,7 +45,7 @@ void run_panel(const tomo::bench::Settings& s, tomo::core::TopologyKind topo,
                    Table::fmt(corr_cdf[i].percent, 1),
                    Table::fmt(ind_cdf[i].percent, 1)});
   }
-  bench::emit(table, s);
+  run.table(label, table);
   std::cout << "\n";
 }
 
@@ -54,14 +58,16 @@ int main(int argc, char** argv) {
   bench::add_common_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("fig5_mislabeled", s);
 
-  run_panel(s, core::TopologyKind::kBrite, 0.25,
+  run_panel(run, core::TopologyKind::kBrite, 0.25,
             "(a) 25% of congested links mislabeled, Brite", 0x5a00);
-  run_panel(s, core::TopologyKind::kBrite, 0.50,
+  run_panel(run, core::TopologyKind::kBrite, 0.50,
             "(b) 50% of congested links mislabeled, Brite", 0x5b00);
-  run_panel(s, core::TopologyKind::kPlanetLab, 0.25,
+  run_panel(run, core::TopologyKind::kPlanetLab, 0.25,
             "(c) 25% of congested links mislabeled, PlanetLab", 0x5c00);
-  run_panel(s, core::TopologyKind::kPlanetLab, 0.50,
+  run_panel(run, core::TopologyKind::kPlanetLab, 0.50,
             "(d) 50% of congested links mislabeled, PlanetLab", 0x5d00);
+  run.finish();
   return 0;
 }

@@ -16,6 +16,25 @@
 #include "core/localization.hpp"
 #include "sim/measurement.hpp"
 
+namespace {
+
+struct Tally {
+  std::size_t tp = 0, fp = 0, fn = 0;
+
+  Tally& operator+=(const Tally& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+struct TrialTallies {
+  Tally smallest, map_ind, map_corr;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace tomo;
   Flags flags("localization_accuracy",
@@ -27,36 +46,30 @@ int main(int argc, char** argv) {
   const bench::Settings s = bench::settings_from_flags(flags);
   const std::size_t eval_snapshots =
       static_cast<std::size_t>(flags.get_int("eval-snapshots"));
+  bench::Run run("localization_accuracy", s);
 
-  struct Tally {
-    std::size_t tp = 0, fp = 0, fn = 0;
-  };
-  Tally smallest, map_ind, map_corr;
-  auto add = [](Tally& t, const core::LocalizationScore& score) {
+  const auto add = [](Tally& t, const core::LocalizationScore& score) {
     t.tp += score.true_positives;
     t.fp += score.false_positives;
     t.fn += score.false_negatives;
   };
 
-  for (std::size_t trial = 0; trial < s.trials; ++trial) {
+  const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
     core::ScenarioConfig scenario;
     scenario.topology = core::TopologyKind::kPlanetLab;
     bench::apply_scale(scenario, s);
     scenario.congested_fraction = 0.10;
-    scenario.seed = mix_seed(s.seed, 0x10c0 + trial);
+    scenario.seed = ctx.seed(0x10c0);
     const auto inst = core::build_scenario(scenario);
     const graph::CoverageIndex coverage(inst.graph, inst.paths);
 
     // Estimate probabilities from a training run, then localize snapshots
     // of an independent evaluation run.
-    core::ExperimentConfig config = bench::experiment_config(s, trial);
+    core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
     const auto training = core::run_experiment(inst, config);
 
-    sim::SimulatorConfig eval_sim = config.sim;
-    eval_sim.snapshots = eval_snapshots;
-    eval_sim.mode = sim::PacketMode::kExact;  // score against exact truth
-    eval_sim.seed = mix_seed(s.seed, 0x20c0 + trial);
-    Rng rng(eval_sim.seed);
+    TrialTallies tallies;
+    Rng rng(ctx.seed(0x20c0));
     for (std::size_t n = 0; n < eval_snapshots; ++n) {
       const auto state = inst.truth->sample(rng);
       graph::PathIdSet congested;
@@ -73,10 +86,17 @@ int main(int argc, char** argv) {
           coverage, congested, training.independence.congestion_prob);
       const auto mc = core::localize_greedy_map(
           coverage, congested, training.correlation.congestion_prob);
-      add(smallest, core::score_localization(state, ss.congested_links));
-      add(map_ind, core::score_localization(state, mi.congested_links));
-      add(map_corr, core::score_localization(state, mc.congested_links));
+      add(tallies.smallest, core::score_localization(state, ss.congested_links));
+      add(tallies.map_ind, core::score_localization(state, mi.congested_links));
+      add(tallies.map_corr, core::score_localization(state, mc.congested_links));
     }
+    return tallies;
+  });
+  Tally smallest, map_ind, map_corr;
+  for (const auto& outcome : outcomes) {
+    smallest += outcome.value.smallest;
+    map_ind += outcome.value.map_ind;
+    map_corr += outcome.value.map_corr;
   }
 
   auto row = [&](const char* name, const Tally& t) {
@@ -97,6 +117,7 @@ int main(int argc, char** argv) {
   table.add_row(row("smallest-set", smallest));
   table.add_row(row("greedy-map-independent", map_ind));
   table.add_row(row("greedy-map-correlation", map_corr));
-  bench::emit(table, s);
+  run.table("localization_accuracy", table);
+  run.finish();
   return 0;
 }

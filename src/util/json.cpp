@@ -1,0 +1,138 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tomo::util {
+
+namespace {
+
+std::string render_double(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Json::Json(bool value) : kind_(Kind::kBool), scalar_(value ? "true" : "false") {}
+
+Json::Json(double value) : kind_(Kind::kNumber), scalar_(render_double(value)) {}
+
+Json::Json(std::string value) : kind_(Kind::kString), scalar_(std::move(value)) {}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::set(std::string key, Json value) {
+  TOMO_ASSERT(kind_ == Kind::kObject);
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  TOMO_ASSERT(kind_ == Kind::kArray);
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+Json Json::array_of(const std::vector<double>& values) {
+  Json j = array();
+  for (const double v : values) j.push(v);
+  return j;
+}
+
+Json Json::array_of(const std::vector<std::string>& values) {
+  Json j = array();
+  for (const std::string& v : values) j.push(v);
+  return j;
+}
+
+std::string Json::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::write(std::ostream& os) const {
+  write_indented(os, 0);
+  os << "\n";
+}
+
+std::string Json::str() const {
+  std::ostringstream os;
+  write_indented(os, 0);
+  return os.str();
+}
+
+void Json::write_indented(std::ostream& os, int depth) const {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool:
+    case Kind::kNumber: os << scalar_; break;
+    case Kind::kString: os << '"' << escape(scalar_) << '"'; break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        os << inner;
+        elements_[i].write_indented(os, depth + 1);
+        os << (i + 1 < elements_.size() ? ",\n" : "\n");
+      }
+      os << pad << "]";
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        os << inner << '"' << escape(members_[i].first) << "\": ";
+        members_[i].second.write_indented(os, depth + 1);
+        os << (i + 1 < members_.size() ? ",\n" : "\n");
+      }
+      os << pad << "}";
+      break;
+    }
+  }
+}
+
+}  // namespace tomo::util

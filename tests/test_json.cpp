@@ -1,0 +1,69 @@
+// The bench telemetry JSON writer: ordered members, correct escaping,
+// and stable number formatting.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace {
+
+using tomo::util::Json;
+
+TEST(Json, ScalarRendering) {
+  EXPECT_EQ(Json(true).str(), "true");
+  EXPECT_EQ(Json(false).str(), "false");
+  EXPECT_EQ(Json(static_cast<std::int64_t>(-12)).str(), "-12");
+  EXPECT_EQ(Json(static_cast<std::uint64_t>(18446744073709551615ULL)).str(),
+            "18446744073709551615");
+  EXPECT_EQ(Json(0.25).str(), "0.25");
+  EXPECT_EQ(Json("hi").str(), "\"hi\"");
+  EXPECT_EQ(Json().str(), "null");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).str(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).str(), "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(Json::escape("plain"), "plain");
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Json::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(Json::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1).set("apple", 2).set("mango", 3);
+  const std::string text = obj.str();
+  EXPECT_LT(text.find("zebra"), text.find("apple"));
+  EXPECT_LT(text.find("apple"), text.find("mango"));
+}
+
+TEST(Json, NestedStructureRendersWithIndentation) {
+  Json doc = Json::object();
+  doc.set("name", "bench")
+      .set("values", Json::array_of(std::vector<double>{1.0, 2.5}))
+      .set("empty_array", Json::array())
+      .set("empty_object", Json::object());
+  EXPECT_EQ(doc.str(),
+            "{\n"
+            "  \"name\": \"bench\",\n"
+            "  \"values\": [\n"
+            "    1,\n"
+            "    2.5\n"
+            "  ],\n"
+            "  \"empty_array\": [],\n"
+            "  \"empty_object\": {}\n"
+            "}");
+}
+
+TEST(Json, ArrayOfStrings) {
+  const Json arr =
+      Json::array_of(std::vector<std::string>{"a", "b"});
+  EXPECT_EQ(arr.str(), "[\n  \"a\",\n  \"b\"\n]");
+}
+
+}  // namespace

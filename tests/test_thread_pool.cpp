@@ -1,0 +1,104 @@
+// The thread pool and parallel_for underpin the trial engine's
+// determinism contract: results land by index, exceptions propagate, and
+// worker count never changes observable output.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using tomo::util::ThreadPool;
+using tomo::util::parallel_for;
+using tomo::util::resolve_jobs;
+
+TEST(ResolveJobs, ZeroMeansHardwareAndAtLeastOne) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(ThreadPool, RunsZeroTasks) {
+  ThreadPool pool(2);  // construct + destruct with an empty queue
+  EXPECT_EQ(pool.worker_count(), 2u);
+}
+
+TEST(ThreadPool, RunsOneTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasksOnFewWorkers) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task exploded"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t jobs : {1u, 2u, 5u}) {
+    std::vector<int> hits(97, 0);
+    parallel_for(jobs, hits.size(),
+                 [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 97)
+        << "jobs=" << jobs;
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, HandlesZeroAndOneItems) {
+  int calls = 0;
+  parallel_for(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(4, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexExceptionAfterAllSettle) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(4, 20, [&](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw tomo::Error("boom at " + std::to_string(i));
+      }
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected tomo::Error";
+  } catch (const tomo::Error& e) {
+    EXPECT_EQ(e.message(), "boom at 3");  // lowest index wins
+  }
+  EXPECT_EQ(completed.load(), 18);  // every non-throwing item still ran
+}
+
+TEST(ParallelFor, InlinePathAlsoThrows) {
+  EXPECT_THROW(
+      parallel_for(1, 5,
+                   [](std::size_t i) {
+                     if (i == 2) throw tomo::Error("inline boom");
+                   }),
+      tomo::Error);
+}
+
+}  // namespace
