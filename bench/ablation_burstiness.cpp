@@ -9,7 +9,7 @@
 
 #include "bench_common.hpp"
 #include "core/independence_algorithm.hpp"
-#include "corr/gilbert.hpp"
+#include "corr/model_factory.hpp"
 #include "metrics/error_metrics.hpp"
 #include "sim/measurement.hpp"
 #include "util/stats.hpp"
@@ -29,42 +29,23 @@ int main(int argc, char** argv) {
                "(same stationary marginals; 10% congested, PlanetLab)\n";
   for (const double burst : {1.0, 4.0, 16.0, 64.0}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario;
-      scenario.topology = core::TopologyKind::kPlanetLab;
-      bench::apply_scale(scenario, s);
+      core::ScenarioConfig scenario =
+          bench::resolve_scenario(s, core::TopologyKind::kPlanetLab);
       scenario.congested_fraction = 0.10;
       scenario.seed = ctx.seed(0xb0);
       const auto inst = core::build_scenario(scenario);
 
       // Rebuild the scenario's shock model as a Gilbert model with the
       // same marginals: bursty where the original was correlated.
-      Rng rng(mix_seed(scenario.seed, 0x60));
-      std::vector<double> base(inst.graph.link_count(), 0.0);
-      std::vector<corr::BurstyShock> shocks(inst.declared_sets.set_count());
-      std::vector<std::vector<graph::LinkId>> per_set(
-          inst.declared_sets.set_count());
+      std::vector<double> congested_marginals;
+      congested_marginals.reserve(inst.congested_links.size());
       for (graph::LinkId e : inst.congested_links) {
-        per_set[inst.declared_sets.set_of(e)].push_back(e);
+        congested_marginals.push_back(inst.true_marginals[e]);
       }
-      for (std::size_t set = 0; set < per_set.size(); ++set) {
-        const auto& members = per_set[set];
-        double rho = 0.0;
-        if (members.size() >= 2) {
-          double min_marginal = 1.0;
-          for (graph::LinkId e : members) {
-            min_marginal = std::min(min_marginal, inst.true_marginals[e]);
-          }
-          rho = 0.95 * min_marginal;
-          shocks[set].rho = rho;
-          shocks[set].burst_length = burst;
-          shocks[set].members = members;
-        }
-        for (graph::LinkId e : members) {
-          base[e] = corr::CommonShockModel::base_for_marginal(
-              inst.true_marginals[e], rho, rho > 0.0);
-        }
-      }
-      corr::GilbertShockModel truth(inst.declared_sets, base, shocks);
+      const auto truth_ptr = corr::make_clustered_gilbert_model(
+          inst.declared_sets, inst.congested_links, congested_marginals,
+          scenario.correlation_strength, burst);
+      const corr::GilbertShockModel& truth = *truth_ptr;
 
       core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
       const graph::CoverageIndex coverage(inst.graph, inst.paths);

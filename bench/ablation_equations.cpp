@@ -22,9 +22,8 @@ int main(int argc, char** argv) {
                "equations (10% congested, high correlation, Brite)\n";
   for (const bool use_pairs : {false, true}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario;
-      scenario.topology = core::TopologyKind::kBrite;
-      bench::apply_scale(scenario, s);
+      core::ScenarioConfig scenario =
+          bench::resolve_scenario(s, core::TopologyKind::kBrite);
       scenario.congested_fraction = 0.10;
       scenario.seed = ctx.seed(0xab20);
       const auto inst = core::build_scenario(scenario);

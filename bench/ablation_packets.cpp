@@ -26,9 +26,8 @@ int main(int argc, char** argv) {
   for (const std::size_t packets : {100u, 250u, 500u, 1000u, 2000u,
                                     4000u}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario;
-      scenario.topology = core::TopologyKind::kBrite;
-      bench::apply_scale(scenario, s);
+      core::ScenarioConfig scenario =
+          bench::resolve_scenario(s, core::TopologyKind::kBrite);
       scenario.congested_fraction = 0.10;
       scenario.seed = ctx.seed(0xab40);
       const auto inst = core::build_scenario(scenario);

@@ -27,9 +27,8 @@ int main(int argc, char** argv) {
        {linalg::SolverKind::kNnls, linalg::SolverKind::kLeastSquares,
         linalg::SolverKind::kL1Lp, linalg::SolverKind::kIrls}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario;
-      scenario.topology = core::TopologyKind::kBrite;
-      bench::apply_scale(scenario, s);
+      core::ScenarioConfig scenario =
+          bench::resolve_scenario(s, core::TopologyKind::kBrite);
       scenario.congested_fraction = 0.10;
       scenario.seed = ctx.seed(0xab10);
       const auto inst = core::build_scenario(scenario);

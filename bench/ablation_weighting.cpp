@@ -20,9 +20,8 @@ int main(int argc, char** argv) {
                "(correlation algorithm; 10% congested, Brite)\n";
   for (const std::size_t snapshots : {125u, 500u, 2000u}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario;
-      scenario.topology = core::TopologyKind::kBrite;
-      bench::apply_scale(scenario, s);
+      core::ScenarioConfig scenario =
+          bench::resolve_scenario(s, core::TopologyKind::kBrite);
       scenario.congested_fraction = 0.10;
       scenario.seed = ctx.seed(0xab50);
       const auto inst = core::build_scenario(scenario);

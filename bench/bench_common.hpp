@@ -3,6 +3,7 @@
 // (aligned table / CSV on stdout, JSON telemetry on request).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -12,6 +13,7 @@
 
 #include "core/experiment.hpp"
 #include "core/run_trials.hpp"
+#include "core/scenario_catalog.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
@@ -32,6 +34,9 @@ struct Settings {
   /// JSON telemetry destination: "" disables, "auto" writes
   /// BENCH_<name>.json in the working directory, anything else is a path.
   std::string json;
+  /// Named registry scenario (see `tomo_scenarios --list`); "" keeps the
+  /// binary's built-in workload.
+  std::string scenario;
 };
 
 /// Registers the flags every experiment binary shares. Defaults come from
@@ -55,6 +60,10 @@ inline void add_common_flags(Flags& flags) {
   flags.add_string("json", defaults.json,
                    "write JSON telemetry: 'auto' = BENCH_<name>.json, else "
                    "a path; empty disables");
+  flags.add_string("scenario", defaults.scenario,
+                   "registry scenario replacing the binary's built-in "
+                   "topology/correlation setup (tomo_scenarios --list; the "
+                   "binary's swept knob still applies)");
 }
 
 inline Settings settings_from_flags(const Flags& flags) {
@@ -67,6 +76,10 @@ inline Settings settings_from_flags(const Flags& flags) {
   s.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
   s.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   s.json = flags.get_string("json");
+  s.scenario = flags.get_string("scenario");
+  if (!s.scenario.empty()) {
+    core::ScenarioCatalog::instance().at(s.scenario);  // fail fast on typos
+  }
   return s;
 }
 
@@ -83,6 +96,43 @@ inline void apply_scale(core::ScenarioConfig& config, const Settings& s) {
     config.routers = 150;
     config.vantage_points = 14;
   }
+}
+
+/// --full upscaling for catalog scenarios: multiplies every scale knob by
+/// the default→paper ratio of apply_scale, so an entry's relative density
+/// choices (dense/sparse vantage points, node count) are preserved.
+inline void scale_to_paper(core::ScenarioConfig& config) {
+  const auto scale = [](std::size_t value, double factor) {
+    return static_cast<std::size_t>(
+        std::llround(static_cast<double>(value) * factor));
+  };
+  config.as_nodes = scale(config.as_nodes, 320.0 / 60.0);
+  config.as_endpoints = scale(config.as_endpoints, 40.0 / 16.0);
+  config.routers = scale(config.routers, 700.0 / 150.0);
+  config.vantage_points = scale(config.vantage_points, 40.0 / 14.0);
+}
+
+/// Resolves the trial's base scenario. With --scenario, the named catalog
+/// entry defines topology, correlation structure, and scale (--full
+/// upscales it proportionally); without it, the binary's hard-coded
+/// fallback topology/level at the standard default/--full scale —
+/// byte-identical to the pre-registry behaviour. Callers still set their
+/// swept knobs (congested fraction, unidentifiable fraction, ...) and the
+/// per-trial seed on the returned config.
+inline core::ScenarioConfig resolve_scenario(
+    const Settings& s, core::TopologyKind fallback_topology,
+    core::CorrelationLevel fallback_level = core::CorrelationLevel::kHigh) {
+  if (!s.scenario.empty()) {
+    core::ScenarioConfig config =
+        core::ScenarioCatalog::instance().at(s.scenario).config;
+    if (s.full) scale_to_paper(config);
+    return config;
+  }
+  core::ScenarioConfig config;
+  config.topology = fallback_topology;
+  config.level = fallback_level;
+  apply_scale(config, s);
+  return config;
 }
 
 inline core::ExperimentConfig experiment_config(const Settings& s,
@@ -172,7 +222,7 @@ class Run {
         settings_.json == "auto" ? "BENCH_" + name_ + ".json" : settings_.json;
     util::Json doc = util::Json::object();
     doc.set("name", name_)
-        .set("schema_version", 1)
+        .set("schema_version", 2)  // 2: added the scenario descriptor
         .set("settings", util::Json::object()
                              .set("full", settings_.full)
                              .set("csv", settings_.csv)
@@ -182,7 +232,9 @@ class Run {
                              .set("jobs", settings_.jobs)
                              .set("jobs_resolved",
                                   util::resolve_jobs(settings_.jobs))
-                             .set("seed", settings_.seed))
+                             .set("seed", settings_.seed)
+                             .set("scenario", settings_.scenario))
+        .set("scenario", scenario_descriptor())
         .set("trials_run", trial_seconds_.size())
         .set("trial_seconds", util::Json::array_of(trial_seconds_))
         .set("total_seconds", total_.seconds())
@@ -196,6 +248,26 @@ class Run {
   }
 
  private:
+  /// The resolved registry entry: name, lineage, and the *base* config
+  /// after --full scaling — the binary's swept/fixed knobs (congested
+  /// fraction, unidentifiable fraction, ...) are applied per data point on
+  /// top of it and show up in the tables, not here. The binary's built-in
+  /// workload is recorded as such.
+  util::Json scenario_descriptor() const {
+    if (settings_.scenario.empty()) {
+      return util::Json::object().set("name", "(binary default)");
+    }
+    const core::CatalogEntry& entry =
+        core::ScenarioCatalog::instance().at(settings_.scenario);
+    core::ScenarioConfig resolved = entry.config;
+    if (settings_.full) scale_to_paper(resolved);
+    return util::Json::object()
+        .set("name", entry.name)
+        .set("figure", entry.figure)
+        .set("summary", entry.summary)
+        .set("base_config", core::scenario_json(resolved));
+  }
+
   std::string name_;
   Settings settings_;
   Stopwatch total_;

@@ -22,11 +22,9 @@ int main(int argc, char** argv) {
                "highly correlated (Brite)\n";
   for (const double pct : {5.0, 10.0, 15.0, 20.0, 25.0}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario;
-      scenario.topology = core::TopologyKind::kBrite;
-      bench::apply_scale(scenario, s);
+      core::ScenarioConfig scenario =
+          bench::resolve_scenario(s, core::TopologyKind::kBrite);
       scenario.congested_fraction = pct / 100.0;
-      scenario.level = core::CorrelationLevel::kHigh;
       scenario.seed = ctx.seed(0x3a00);
       const auto inst = core::build_scenario(scenario);
       const auto result =

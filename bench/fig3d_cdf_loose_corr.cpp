@@ -15,11 +15,9 @@ int main(int argc, char** argv) {
   bench::Run run("fig3d_cdf_loose_corr", s);
 
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario;
-    scenario.topology = core::TopologyKind::kBrite;
-    bench::apply_scale(scenario, s);
+    core::ScenarioConfig scenario = bench::resolve_scenario(
+        s, core::TopologyKind::kBrite, core::CorrelationLevel::kLoose);
     scenario.congested_fraction = 0.10;
-    scenario.level = core::CorrelationLevel::kLoose;
     scenario.seed = ctx.seed(0x3d00);
     const auto inst = core::build_scenario(scenario);
     const auto result =

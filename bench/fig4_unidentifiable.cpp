@@ -14,11 +14,8 @@ void run_panel(tomo::bench::Run& run, tomo::core::TopologyKind topo,
   using namespace tomo;
   const bench::Settings& s = run.settings();
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario;
-    scenario.topology = topo;
-    bench::apply_scale(scenario, s);
+    core::ScenarioConfig scenario = bench::resolve_scenario(s, topo);
     scenario.congested_fraction = 0.10;
-    scenario.level = core::CorrelationLevel::kHigh;
     scenario.unidentifiable_fraction = unident_fraction;
     scenario.seed = ctx.seed(tag);
     const auto inst = core::build_scenario(scenario);

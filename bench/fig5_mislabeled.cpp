@@ -15,13 +15,12 @@ void run_panel(tomo::bench::Run& run, tomo::core::TopologyKind topo,
   using namespace tomo;
   const bench::Settings& s = run.settings();
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario;
-    scenario.topology = topo;
-    bench::apply_scale(scenario, s);
+    core::ScenarioConfig scenario = bench::resolve_scenario(s, topo);
     scenario.congested_fraction = 0.10;
-    scenario.level = core::CorrelationLevel::kHigh;
     scenario.mislabeled_fraction = mislabeled_fraction;
-    scenario.worm_rho = 0.4;
+    // The worm strength is part of a named scenario's correlation setup;
+    // only the panel's mislabeled fraction is this binary's swept knob.
+    if (s.scenario.empty()) scenario.worm_rho = 0.4;
     scenario.seed = ctx.seed(tag);
     const auto inst = core::build_scenario(scenario);
     const auto result =

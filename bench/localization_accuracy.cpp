@@ -55,9 +55,8 @@ int main(int argc, char** argv) {
   };
 
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario;
-    scenario.topology = core::TopologyKind::kPlanetLab;
-    bench::apply_scale(scenario, s);
+    core::ScenarioConfig scenario =
+        bench::resolve_scenario(s, core::TopologyKind::kPlanetLab);
     scenario.congested_fraction = 0.10;
     scenario.seed = ctx.seed(0x10c0);
     const auto inst = core::build_scenario(scenario);

@@ -7,6 +7,7 @@
 
 #include "corr/identifiability.hpp"
 #include "corr/model_factory.hpp"
+#include "topogen/flat_mesh.hpp"
 #include "topogen/hierarchical.hpp"
 #include "topogen/planetlab_like.hpp"
 #include "util/error.hpp"
@@ -153,6 +154,20 @@ std::vector<graph::LinkId> pick_worm_targets(
 
 }  // namespace
 
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kBrite:
+      return "brite";
+    case TopologyKind::kPlanetLab:
+      return "planetlab";
+    case TopologyKind::kWaxman:
+      return "waxman";
+    case TopologyKind::kBarabasiAlbert:
+      return "barabasi-albert";
+  }
+  return "unknown";
+}
+
 ScenarioInstance build_scenario(const ScenarioConfig& config) {
   TOMO_REQUIRE(config.congested_fraction > 0.0 &&
                    config.congested_fraction <= 1.0,
@@ -161,6 +176,8 @@ ScenarioInstance build_scenario(const ScenarioConfig& config) {
                    config.marginal_lo <= config.marginal_hi &&
                    config.marginal_hi < 1.0,
                "marginal range must satisfy 0 < lo <= hi < 1");
+  TOMO_REQUIRE(config.burst_length >= 1.0,
+               "burst length must be >= 1 snapshot");
   Rng rng(mix_seed(config.seed, /*tag=*/0x5363656eULL));  // "Scen"
 
   ScenarioInstance inst;
@@ -177,7 +194,7 @@ ScenarioInstance build_scenario(const ScenarioConfig& config) {
     inst.paths = std::move(topo.paths);
     partition = std::move(topo.partition);
     inst.description = topo.description;
-  } else {
+  } else if (config.topology == TopologyKind::kPlanetLab) {
     topogen::PlanetLabParams params;
     params.routers = config.routers;
     params.vantage_points = config.vantage_points;
@@ -185,6 +202,24 @@ ScenarioInstance build_scenario(const ScenarioConfig& config) {
     params.fabric_prob = config.fabric_prob;
     params.seed = rng();
     auto topo = topogen::generate_planetlab_like(params);
+    inst.graph = std::move(topo.graph);
+    inst.paths = std::move(topo.paths);
+    partition = std::move(topo.partition);
+    inst.description = topo.description;
+  } else {
+    topogen::FlatMeshParams params;
+    params.model = config.topology == TopologyKind::kWaxman
+                       ? topogen::FlatMeshParams::EdgeModel::kWaxman
+                       : topogen::FlatMeshParams::EdgeModel::kBarabasiAlbert;
+    params.nodes = config.routers;
+    params.vantage_points = config.vantage_points;
+    params.cluster_size = config.cluster_size;
+    params.fabric_prob = config.fabric_prob;
+    params.waxman.alpha = config.waxman_alpha;
+    params.waxman.beta = config.waxman_beta;
+    params.ba_edges_per_node = config.ba_edges_per_node;
+    params.seed = rng();
+    auto topo = topogen::generate_flat_mesh(params);
     inst.graph = std::move(topo.graph);
     inst.paths = std::move(topo.paths);
     partition = std::move(topo.partition);
@@ -230,10 +265,16 @@ ScenarioInstance build_scenario(const ScenarioConfig& config) {
     marginals[i] = std::clamp(base * rng.uniform(0.95, 1.05),
                               config.marginal_lo * 0.5, 0.95);
   }
-  std::unique_ptr<corr::CongestionModel> truth =
-      corr::make_clustered_shock_model(inst.declared_sets,
-                                       inst.congested_links, marginals,
-                                       config.correlation_strength);
+  std::unique_ptr<corr::CongestionModel> truth;
+  if (config.burst_length > 1.0) {
+    truth = corr::make_clustered_gilbert_model(
+        inst.declared_sets, inst.congested_links, marginals,
+        config.correlation_strength, config.burst_length);
+  } else {
+    truth = corr::make_clustered_shock_model(inst.declared_sets,
+                                             inst.congested_links, marginals,
+                                             config.correlation_strength);
+  }
 
   // Fig. 5: hidden worm correlation across sets.
   if (config.mislabeled_fraction > 0.0) {

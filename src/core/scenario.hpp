@@ -14,9 +14,14 @@
 namespace tomo::core {
 
 enum class TopologyKind {
-  kBrite,      // hierarchical AS+router substitute (Fig. 3-5 "Brite")
-  kPlanetLab,  // synthetic traceroute mesh (Fig. 4-5 "PlanetLab")
+  kBrite,           // hierarchical AS+router substitute (Fig. 3-5 "Brite")
+  kPlanetLab,       // synthetic traceroute mesh (Fig. 4-5 "PlanetLab")
+  kWaxman,          // flat random-geometric mesh (BRITE router-level mode)
+  kBarabasiAlbert,  // flat preferential-attachment mesh (BRITE AS-level mode)
 };
+
+/// Human-readable name of a topology kind (for descriptors and docs).
+const char* to_string(TopologyKind kind);
 
 enum class CorrelationLevel {
   kHigh,   // > 2 congested links per correlation set (Fig. 3 a-c)
@@ -28,20 +33,31 @@ struct ScenarioConfig {
 
   // Scale knobs (defaults give a minutes-long full suite; the benches'
   // --full flag raises them to paper scale).
-  std::size_t as_nodes = 60;
-  std::size_t as_endpoints = 16;
-  std::size_t routers = 150;
-  std::size_t vantage_points = 14;
-  std::size_t cluster_size = 6;  // max correlation-set size (both topologies)
+  std::size_t as_nodes = 60;       // kBrite
+  std::size_t as_endpoints = 16;   // kBrite
+  std::size_t routers = 150;       // node count for all flat topologies
+  std::size_t vantage_points = 14;  // flat topologies
+  std::size_t cluster_size = 6;  // max correlation-set size (all topologies)
   /// Probability that a link's bottleneck sits on a shared fabric segment
   /// (higher = more links correlated).
   double fabric_prob = 0.65;
+
+  // Flat-mesh shape knobs: Waxman geometric density (kWaxman) and BA
+  // attachment count (kBarabasiAlbert).
+  double waxman_alpha = 0.15;
+  double waxman_beta = 0.2;
+  std::size_t ba_edges_per_node = 2;
 
   double congested_fraction = 0.10;
   CorrelationLevel level = CorrelationLevel::kHigh;
   double correlation_strength = 0.95;
   double marginal_lo = 0.10;  // congested links draw their true congestion
   double marginal_hi = 0.60;  // probability around a per-set base in range
+
+  /// Mean congestion-episode length in snapshots. > 1 drives every set's
+  /// shock through a Gilbert chain (same per-snapshot marginal law, so
+  /// Assumption 3 still holds); 1 keeps the memoryless common shock.
+  double burst_length = 1.0;
 
   /// Target fraction of congested links made unidentifiable by mutating
   /// the correlation structure around intermediate nodes (Fig. 4).

@@ -1,0 +1,194 @@
+#include "core/scenario_catalog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace tomo::core {
+
+ScenarioCatalog::ScenarioCatalog() {
+  // Registration helper. Keep the literal name as the first argument on
+  // its own call — CI greps `add("<name>"` to enforce docs/SCENARIOS.md
+  // coverage.
+  const auto add = [this](std::string name, std::string figure,
+                          std::string summary, ScenarioConfig config) {
+    entries_.push_back(CatalogEntry{std::move(name), std::move(figure),
+                                    std::move(summary), std::move(config)});
+  };
+
+  {
+    ScenarioConfig c;  // defaults: Brite, high correlation, 10% congested
+    add("brite-high", "Fig. 3(a-c)",
+        "Brite hierarchical topology, > 2 congested links per set", c);
+  }
+  {
+    ScenarioConfig c;
+    c.level = CorrelationLevel::kLoose;
+    add("brite-loose", "Fig. 3(d)",
+        "Brite topology, at most 2 congested links per set", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kPlanetLab;
+    add("planetlab-high", "Fig. 4(c,d) baseline",
+        "PlanetLab-like traceroute mesh, high correlation", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kPlanetLab;
+    c.level = CorrelationLevel::kLoose;
+    add("planetlab-loose", "Fig. 3(d) on PlanetLab",
+        "PlanetLab-like mesh, at most 2 congested links per set", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kWaxman;
+    c.burst_length = 16.0;
+    c.cluster_size = 5;
+    add("waxman-bursty", "§2.2 Assumption 3 stress",
+        "flat Waxman mesh, Gilbert shocks with 16-snapshot bursts", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kWaxman;
+    // Inference cost grows superquadratically in the path count (pair
+    // equations), so "dense" is capped at 20 vantage points (~380 paths);
+    // see docs/SCENARIOS.md for measured runtimes.
+    c.vantage_points = 20;
+    c.waxman_alpha = 0.20;
+    c.cluster_size = 4;
+    add("waxman-dense-vps", "new workload",
+        "dense Waxman mesh, 20 vantage points, small correlation sets", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kBarabasiAlbert;
+    c.vantage_points = 8;
+    add("ba-sparse-vps", "new workload",
+        "scale-free BA mesh measured from only 8 vantage points", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kBarabasiAlbert;
+    c.ba_edges_per_node = 3;
+    c.vantage_points = 20;
+    c.cluster_size = 8;
+    c.congested_fraction = 0.15;
+    add("ba-hub-stress", "new workload",
+        "denser BA mesh: hub fabrics form large correlation sets", c);
+  }
+  {
+    ScenarioConfig c;
+    c.unidentifiable_fraction = 0.25;
+    add("unidentifiable-25", "Fig. 4(a)",
+        "Brite topology, 25% of congested links unidentifiable", c);
+  }
+  {
+    ScenarioConfig c;
+    c.unidentifiable_fraction = 0.50;
+    add("unidentifiable-50", "Fig. 4(b)",
+        "Brite topology, 50% of congested links unidentifiable", c);
+  }
+  {
+    ScenarioConfig c;
+    c.mislabeled_fraction = 0.50;
+    c.worm_rho = 0.4;
+    add("worm-mislabeled", "Fig. 5(b)",
+        "Brite topology, worm secretly correlates 50% of congested links",
+        c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kPlanetLab;
+    c.mislabeled_fraction = 0.25;
+    c.worm_rho = 0.4;
+    add("worm-planetlab", "Fig. 5(c)",
+        "PlanetLab-like mesh, worm correlates 25% of congested links", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kPlanetLab;
+    c.burst_length = 8.0;
+    add("planetlab-bursty", "§2.2 Assumption 3 stress",
+        "PlanetLab-like mesh, Gilbert shocks with 8-snapshot bursts", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kWaxman;
+    c.burst_length = 4.0;
+    c.mislabeled_fraction = 0.25;
+    c.worm_rho = 0.5;
+    add("waxman-worm-bursty", "Fig. 5 x Assumption 3",
+        "bursty Waxman mesh with a hidden worm across sets", c);
+  }
+}
+
+const ScenarioCatalog& ScenarioCatalog::instance() {
+  static const ScenarioCatalog catalog;
+  return catalog;
+}
+
+const CatalogEntry* ScenarioCatalog::find(const std::string& name) const {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const CatalogEntry& e) { return e.name == name; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+const CatalogEntry& ScenarioCatalog::at(const std::string& name) const {
+  const CatalogEntry* entry = find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const CatalogEntry& e : entries_) {
+      known += known.empty() ? e.name : ", " + e.name;
+    }
+    TOMO_REQUIRE(false,
+                 "unknown scenario '" + name + "'; known: " + known);
+  }
+  return *entry;
+}
+
+std::vector<std::string> ScenarioCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const CatalogEntry& e : entries_) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+ScenarioConfig shrink_for_tests(ScenarioConfig config) {
+  config.as_nodes = std::min<std::size_t>(config.as_nodes, 40);
+  config.as_endpoints = std::min<std::size_t>(config.as_endpoints, 10);
+  config.routers = std::min<std::size_t>(config.routers, 80);
+  config.vantage_points =
+      std::max<std::size_t>(4, config.vantage_points / 2);
+  return config;
+}
+
+util::Json scenario_json(const ScenarioConfig& c) {
+  return util::Json::object()
+      .set("topology", to_string(c.topology))
+      .set("as_nodes", c.as_nodes)
+      .set("as_endpoints", c.as_endpoints)
+      .set("routers", c.routers)
+      .set("vantage_points", c.vantage_points)
+      .set("cluster_size", c.cluster_size)
+      .set("fabric_prob", c.fabric_prob)
+      .set("waxman_alpha", c.waxman_alpha)
+      .set("waxman_beta", c.waxman_beta)
+      .set("ba_edges_per_node", c.ba_edges_per_node)
+      .set("congested_fraction", c.congested_fraction)
+      .set("level",
+           c.level == CorrelationLevel::kHigh ? "high" : "loose")
+      .set("correlation_strength", c.correlation_strength)
+      .set("marginal_lo", c.marginal_lo)
+      .set("marginal_hi", c.marginal_hi)
+      .set("burst_length", c.burst_length)
+      .set("unidentifiable_fraction", c.unidentifiable_fraction)
+      .set("mislabeled_fraction", c.mislabeled_fraction)
+      .set("worm_rho", c.worm_rho);
+}
+
+}  // namespace tomo::core

@@ -1,0 +1,62 @@
+// Named scenario registry: the single place where evaluation workloads are
+// defined.
+//
+// The paper's evaluation crosses two topologies with a handful of
+// correlation settings; the registry generalizes that into named,
+// composable ScenarioConfig entries covering every generator and
+// congestion model in the library (hierarchical Brite substitute,
+// PlanetLab-like traceroute mesh, flat Waxman and Barabási-Albert meshes;
+// memoryless and bursty shocks; unidentifiability and hidden-worm
+// mutations) at varied vantage-point densities and correlation-set sizes.
+// Bench binaries resolve entries through the shared --scenario flag and
+// tomo_scenarios lists/runs them directly; the golden-metrics and property
+// suites pin their behaviour. Every entry must have a row in
+// docs/SCENARIOS.md (CI enforces this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/json.hpp"
+
+namespace tomo::core {
+
+struct CatalogEntry {
+  std::string name;     // registry key, e.g. "brite-high"
+  std::string figure;   // paper lineage, e.g. "Fig. 3(a-c)"
+  std::string summary;  // one line: what the scenario stresses
+  ScenarioConfig config;  // base config; callers set/override the seed
+};
+
+/// Immutable process-wide registry of named scenarios.
+class ScenarioCatalog {
+ public:
+  static const ScenarioCatalog& instance();
+
+  const std::vector<CatalogEntry>& entries() const { return entries_; }
+
+  /// nullptr when `name` is not registered.
+  const CatalogEntry* find(const std::string& name) const;
+
+  /// Throws tomo::Error listing the known names when `name` is missing.
+  const CatalogEntry& at(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  ScenarioCatalog();
+
+  std::vector<CatalogEntry> entries_;
+};
+
+/// Shrinks a config to test/CI scale (roughly half-size topology, same
+/// correlation structure). The golden-metrics and property suites run
+/// every registry scenario through this so the full catalog stays testable
+/// in seconds.
+ScenarioConfig shrink_for_tests(ScenarioConfig config);
+
+/// Serializes a resolved config (bench telemetry "scenario" descriptor).
+util::Json scenario_json(const ScenarioConfig& config);
+
+}  // namespace tomo::core

@@ -8,6 +8,7 @@
 #include "corr/common_shock.hpp"
 #include "corr/correlation.hpp"
 #include "corr/cross_set_shock.hpp"
+#include "corr/gilbert.hpp"
 
 namespace tomo::corr {
 
@@ -26,6 +27,17 @@ std::unique_ptr<IndependentModel> make_independent(
 std::unique_ptr<CommonShockModel> make_clustered_shock_model(
     const CorrelationSets& sets, const std::vector<LinkId>& congested_links,
     const std::vector<double>& target_marginal, double correlation_strength);
+
+/// The bursty (Gilbert) variant of make_clustered_shock_model: identical
+/// per-snapshot marginal law and per-set shock strength, but each set's
+/// shock is driven by a two-state Markov chain with mean episode length
+/// `burst_length` snapshots (>= 1; 1/(1-rho) reproduces the memoryless
+/// shock). Snapshots become temporally dependent while Assumption 3
+/// (stationarity) still holds.
+std::unique_ptr<GilbertShockModel> make_clustered_gilbert_model(
+    const CorrelationSets& sets, const std::vector<LinkId>& congested_links,
+    const std::vector<double>& target_marginal, double correlation_strength,
+    double burst_length);
 
 /// Wraps `inner` with the worm shock of the Fig. 5 scenario.
 std::unique_ptr<CrossSetShockModel> make_worm_model(

@@ -1,0 +1,54 @@
+#include "topogen/flat_mesh.hpp"
+
+#include <sstream>
+
+#include "graph/routing.hpp"
+#include "topogen/barabasi_albert.hpp"
+#include "util/error.hpp"
+
+namespace tomo::topogen {
+
+GeneratedTopology generate_flat_mesh(const FlatMeshParams& params) {
+  TOMO_REQUIRE(params.vantage_points >= 2, "need at least two vantage points");
+  TOMO_REQUIRE(params.vantage_points <= params.nodes,
+               "more vantage points than nodes");
+  TOMO_REQUIRE(params.cluster_size >= 1, "cluster size must be positive");
+  Rng rng(mix_seed(params.seed, /*tag=*/0x466c6174ULL));  // "Flat"
+
+  const bool waxman = params.model == FlatMeshParams::EdgeModel::kWaxman;
+  const auto edges =
+      waxman ? waxman_edges(params.nodes, params.waxman, rng)
+             : barabasi_albert_edges(params.nodes, params.ba_edges_per_node,
+                                     rng);
+  graph::Graph base_graph =
+      to_directed_graph(params.nodes, edges, waxman ? "w" : "ba");
+
+  std::vector<double> weights(base_graph.link_count());
+  for (double& w : weights) {
+    w = 1.0 + 0.05 * rng.uniform();
+  }
+  const std::vector<std::size_t> vantage_idx = rng.sample_without_replacement(
+      params.nodes, params.vantage_points);
+  std::vector<graph::NodeId> vantages(vantage_idx.begin(), vantage_idx.end());
+  std::vector<graph::Path> raw_paths =
+      graph::mesh_paths(base_graph, vantages, weights);
+  TOMO_REQUIRE(!raw_paths.empty(), "mesh produced no paths");
+
+  PrunedSystem pruned = prune_to_covered(base_graph, raw_paths);
+
+  GeneratedTopology out;
+  out.graph = std::move(pruned.graph);
+  out.paths = std::move(pruned.paths);
+  out.partition = fabric_site_clusters(out.graph, params.cluster_size,
+                                       params.fabric_prob, rng);
+
+  std::ostringstream desc;
+  desc << (waxman ? "waxman-mesh" : "ba-mesh") << "(nodes=" << params.nodes
+       << ", vantage=" << params.vantage_points << "): "
+       << out.graph.link_count() << " links, " << out.paths.size()
+       << " paths, " << out.partition.size() << " correlation sets";
+  out.description = desc.str();
+  return out;
+}
+
+}  // namespace tomo::topogen

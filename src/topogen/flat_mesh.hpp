@@ -1,0 +1,41 @@
+// Flat (single-level) measured topologies over the raw random-graph
+// generators.
+//
+// The hierarchical (Brite-substitute) and PlanetLab-like generators wrap
+// the Waxman and Barabási-Albert edge models in fixed measurement
+// structure. This generator exposes the raw models directly as measured
+// graphs: vantage hosts are sampled from the nodes, probes routed along
+// jittered shortest paths in a full mesh, dark links pruned, and
+// correlation sets grown as site clusters — so scenarios can vary the
+// geometric density (Waxman alpha/beta), the degree distribution (BA
+// attachment count), and the vantage-point density independently of the
+// two paper topologies.
+#pragma once
+
+#include <cstdint>
+
+#include "topogen/generated.hpp"
+#include "topogen/waxman.hpp"
+
+namespace tomo::topogen {
+
+struct FlatMeshParams {
+  enum class EdgeModel {
+    kWaxman,          // random-geometric (router-level picture)
+    kBarabasiAlbert,  // preferential attachment (AS-level picture)
+  };
+  EdgeModel model = EdgeModel::kWaxman;
+  std::size_t nodes = 150;
+  std::size_t vantage_points = 14;
+  std::size_t cluster_size = 5;  // target correlation-set size
+  /// Probability that a link's bottleneck lies on a shared site fabric
+  /// (otherwise the link is its own singleton correlation set).
+  double fabric_prob = 0.5;
+  WaxmanParams waxman;                 // kWaxman only
+  std::size_t ba_edges_per_node = 2;   // kBarabasiAlbert only
+  std::uint64_t seed = 1;
+};
+
+GeneratedTopology generate_flat_mesh(const FlatMeshParams& params);
+
+}  // namespace tomo::topogen

@@ -4,6 +4,35 @@
 
 namespace tomo::topogen {
 
+graph::LinkPartition fabric_site_clusters(const graph::Graph& g,
+                                          std::size_t target,
+                                          double fabric_prob, Rng& rng) {
+  std::vector<std::vector<graph::LinkId>> owned(g.node_count());
+  graph::LinkPartition partition;
+  for (graph::LinkId e = 0; e < g.link_count(); ++e) {
+    const graph::Link& link = g.link(e);
+    if (rng.bernoulli(fabric_prob)) {
+      owned[rng.bernoulli(0.5) ? link.src : link.dst].push_back(e);
+    } else {
+      partition.push_back({e});  // dedicated bottleneck: singleton
+    }
+  }
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<graph::LinkId> pending;
+    for (graph::LinkId e : owned[v]) {
+      pending.push_back(e);
+      if (pending.size() == target) {
+        partition.push_back(std::move(pending));
+        pending.clear();
+      }
+    }
+    if (!pending.empty()) {
+      partition.push_back(std::move(pending));
+    }
+  }
+  return partition;
+}
+
 PrunedSystem prune_to_covered(const graph::Graph& g,
                               const std::vector<graph::Path>& paths) {
   std::vector<bool> used(g.link_count(), false);

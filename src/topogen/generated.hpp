@@ -8,6 +8,7 @@
 #include "graph/graph.hpp"
 #include "graph/path.hpp"
 #include "graph/transform.hpp"
+#include "util/rng.hpp"
 
 namespace tomo::topogen {
 
@@ -26,6 +27,18 @@ struct GeneratedTopology {
 
   std::string description;
 };
+
+/// Partitions links into "site" clusters of at most `target` links. Each
+/// link is owned by one of its two endpoint nodes (chosen at random — the
+/// side whose hidden switch fabric carries its bottleneck segment, the LAN
+/// picture of the paper's Figure 2(a)); a node's owned links are chunked
+/// into clusters of the target size. A cluster therefore mixes links
+/// entering and leaving one site: correlated links can be parallel
+/// (fan-in/fan-out) or consecutive along a path crossing the site. Links
+/// that miss the fabric_prob draw get dedicated (singleton) sets.
+graph::LinkPartition fabric_site_clusters(const graph::Graph& g,
+                                          std::size_t target,
+                                          double fabric_prob, Rng& rng);
 
 /// Restricts a graph to the links covered by `paths` (the paper requires
 /// every link to participate in a path; generators route first and then

@@ -1,7 +1,5 @@
 #include "topogen/planetlab_like.hpp"
 
-#include <algorithm>
-#include <deque>
 #include <sstream>
 
 #include "graph/routing.hpp"
@@ -9,45 +7,6 @@
 #include "util/error.hpp"
 
 namespace tomo::topogen {
-
-namespace {
-
-/// Partitions links into "site" clusters of at most `target` links. Each
-/// link is owned by one of its two endpoint nodes (chosen at random — the
-/// side whose hidden switch fabric carries its bottleneck segment, the LAN
-/// picture of the paper's Figure 2(a)); a node's owned links are chunked
-/// into clusters of the target size. A cluster therefore mixes links
-/// entering and leaving one site: correlated links can be parallel
-/// (fan-in/fan-out) or consecutive along a path crossing the site.
-graph::LinkPartition site_clusters(const graph::Graph& g, std::size_t target,
-                                   double fabric_prob, Rng& rng) {
-  std::vector<std::vector<graph::LinkId>> owned(g.node_count());
-  graph::LinkPartition partition;
-  for (graph::LinkId e = 0; e < g.link_count(); ++e) {
-    const graph::Link& link = g.link(e);
-    if (rng.bernoulli(fabric_prob)) {
-      owned[rng.bernoulli(0.5) ? link.src : link.dst].push_back(e);
-    } else {
-      partition.push_back({e});  // dedicated bottleneck: singleton
-    }
-  }
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    std::vector<graph::LinkId> pending;
-    for (graph::LinkId e : owned[v]) {
-      pending.push_back(e);
-      if (pending.size() == target) {
-        partition.push_back(std::move(pending));
-        pending.clear();
-      }
-    }
-    if (!pending.empty()) {
-      partition.push_back(std::move(pending));
-    }
-  }
-  return partition;
-}
-
-}  // namespace
 
 GeneratedTopology generate_planetlab_like(const PlanetLabParams& params) {
   TOMO_REQUIRE(params.vantage_points >= 2, "need at least two vantage points");
@@ -77,7 +36,8 @@ GeneratedTopology generate_planetlab_like(const PlanetLabParams& params) {
   GeneratedTopology out;
   out.graph = std::move(pruned.graph);
   out.paths = std::move(pruned.paths);
-  out.partition = site_clusters(out.graph, params.cluster_size, params.fabric_prob, rng);
+  out.partition = fabric_site_clusters(out.graph, params.cluster_size,
+                                       params.fabric_prob, rng);
 
   std::ostringstream desc;
   desc << "planetlab-like(routers=" << params.routers << ", vantage="

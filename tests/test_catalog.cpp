@@ -1,0 +1,171 @@
+// Property tests for the scenario registry: every named entry must build a
+// well-formed, deterministic, seed-sensitive instance whose correlation
+// structure honours its config. Runs at shrink_for_tests scale so the full
+// catalog stays fast.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "core/scenario_catalog.hpp"
+#include "graph/coverage.hpp"
+#include "util/error.hpp"
+
+namespace tomo::core {
+namespace {
+
+ScenarioConfig test_config(const CatalogEntry& entry,
+                           std::uint64_t seed = 11) {
+  ScenarioConfig config = shrink_for_tests(entry.config);
+  config.seed = seed;
+  return config;
+}
+
+class CatalogScenario : public ::testing::TestWithParam<std::string> {
+ protected:
+  const CatalogEntry& entry() const {
+    return ScenarioCatalog::instance().at(GetParam());
+  }
+};
+
+TEST_P(CatalogScenario, BuildsDeterministicallyForFixedSeed) {
+  const ScenarioInstance a = build_scenario(test_config(entry()));
+  const ScenarioInstance b = build_scenario(test_config(entry()));
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.graph.link_count(), b.graph.link_count());
+  EXPECT_EQ(a.congested_links, b.congested_links);
+  EXPECT_EQ(a.mislabeled_links, b.mislabeled_links);
+  EXPECT_EQ(a.true_marginals, b.true_marginals);
+  EXPECT_EQ(a.declared_sets.partition(), b.declared_sets.partition());
+}
+
+TEST_P(CatalogScenario, DiffersAcrossSeeds) {
+  const ScenarioInstance a = build_scenario(test_config(entry(), 11));
+  const ScenarioInstance b = build_scenario(test_config(entry(), 12));
+  EXPECT_TRUE(a.congested_links != b.congested_links ||
+              a.true_marginals != b.true_marginals);
+}
+
+TEST_P(CatalogScenario, PathsAreValidInTheGraph) {
+  const ScenarioInstance inst = build_scenario(test_config(entry()));
+  ASSERT_GT(inst.paths.size(), 0u);
+  for (const graph::Path& p : inst.paths) {
+    for (graph::LinkId e : p.links()) {
+      ASSERT_LT(e, inst.graph.link_count());
+    }
+    // Re-validating against the instance graph re-runs the contiguity and
+    // loop-freedom checks of the Path constructor.
+    EXPECT_NO_THROW(graph::Path(inst.graph, p.links()));
+  }
+  const graph::CoverageIndex cov(inst.graph, inst.paths);
+  EXPECT_TRUE(cov.all_links_covered());
+}
+
+TEST_P(CatalogScenario, CorrelationSetsRespectClusterSize) {
+  const ScenarioConfig config = test_config(entry());
+  if (config.unidentifiable_fraction > 0.0) {
+    GTEST_SKIP() << "unidentifiability injection deliberately fuses sets "
+                    "beyond cluster_size";
+  }
+  const ScenarioInstance inst = build_scenario(config);
+  for (std::size_t s = 0; s < inst.declared_sets.set_count(); ++s) {
+    EXPECT_LE(inst.declared_sets.set(s).size(), config.cluster_size)
+        << "set " << s << " exceeds the configured cluster size";
+  }
+}
+
+TEST_P(CatalogScenario, LooseLevelCapsCongestedLinksPerSet) {
+  const ScenarioConfig config = test_config(entry());
+  if (config.level != CorrelationLevel::kLoose) {
+    GTEST_SKIP() << "only meaningful for kLoose entries";
+  }
+  const ScenarioInstance inst = build_scenario(config);
+  std::vector<std::size_t> per_set(inst.declared_sets.set_count(), 0);
+  for (graph::LinkId e : inst.congested_links) {
+    ++per_set[inst.declared_sets.set_of(e)];
+  }
+  EXPECT_LE(*std::max_element(per_set.begin(), per_set.end()), 2u);
+}
+
+TEST_P(CatalogScenario, OnlyCongestedLinksHavePositiveMarginals) {
+  const ScenarioInstance inst = build_scenario(test_config(entry()));
+  const std::unordered_set<graph::LinkId> congested(
+      inst.congested_links.begin(), inst.congested_links.end());
+  ASSERT_EQ(inst.true_marginals.size(), inst.graph.link_count());
+  for (graph::LinkId e = 0; e < inst.graph.link_count(); ++e) {
+    if (congested.count(e)) {
+      EXPECT_GT(inst.true_marginals[e], 0.0);
+    } else {
+      EXPECT_NEAR(inst.true_marginals[e], 0.0, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CatalogScenario,
+    ::testing::ValuesIn(ScenarioCatalog::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(Catalog, HasAtLeastTenUniquelyNamedEntries) {
+  const auto& entries = ScenarioCatalog::instance().entries();
+  EXPECT_GE(entries.size(), 10u);
+  std::set<std::string> names;
+  for (const CatalogEntry& e : entries) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate name " << e.name;
+    EXPECT_FALSE(e.summary.empty()) << e.name;
+    EXPECT_FALSE(e.figure.empty()) << e.name;
+  }
+}
+
+TEST(Catalog, CoversEveryTopologyKindAndBothModels) {
+  std::set<TopologyKind> kinds;
+  bool bursty = false, worm = false, unident = false, loose = false;
+  for (const CatalogEntry& e : ScenarioCatalog::instance().entries()) {
+    kinds.insert(e.config.topology);
+    bursty |= e.config.burst_length > 1.0;
+    worm |= e.config.mislabeled_fraction > 0.0;
+    unident |= e.config.unidentifiable_fraction > 0.0;
+    loose |= e.config.level == CorrelationLevel::kLoose;
+  }
+  EXPECT_EQ(kinds.size(), 4u) << "a topology generator is unreachable";
+  EXPECT_TRUE(bursty);
+  EXPECT_TRUE(worm);
+  EXPECT_TRUE(unident);
+  EXPECT_TRUE(loose);
+}
+
+TEST(Catalog, AtThrowsListingKnownNames) {
+  EXPECT_THROW(ScenarioCatalog::instance().at("no-such-scenario"), Error);
+  try {
+    ScenarioCatalog::instance().at("no-such-scenario");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("brite-high"), std::string::npos);
+  }
+  EXPECT_EQ(ScenarioCatalog::instance().find("no-such-scenario"), nullptr);
+  EXPECT_NE(ScenarioCatalog::instance().find("brite-high"), nullptr);
+}
+
+TEST(Catalog, BurstLengthPreservesStationaryMarginals) {
+  // The Gilbert chain only changes temporal correlation; the per-snapshot
+  // marginal law — and hence true_marginals — must match the memoryless
+  // model at the same seed.
+  ScenarioConfig bursty = shrink_for_tests(
+      ScenarioCatalog::instance().at("waxman-bursty").config);
+  bursty.seed = 21;
+  ScenarioConfig memoryless = bursty;
+  memoryless.burst_length = 1.0;
+  const ScenarioInstance a = build_scenario(bursty);
+  const ScenarioInstance b = build_scenario(memoryless);
+  ASSERT_EQ(a.true_marginals.size(), b.true_marginals.size());
+  for (std::size_t i = 0; i < a.true_marginals.size(); ++i) {
+    EXPECT_NEAR(a.true_marginals[i], b.true_marginals[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tomo::core

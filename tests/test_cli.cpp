@@ -3,6 +3,8 @@
 // full workflow a user runs, through the real executable.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,8 +36,13 @@ CommandResult run_cli(const std::string& args) {
   return {WEXITSTATUS(status), output};
 }
 
+// Unique per test process: ctest -j runs every discovered case as its own
+// process, and each one re-runs SetUpTestSuite — shared fixed names made
+// concurrent processes clobber each other's files (the old CliWorkflow
+// parallel flake).
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid());
 }
 
 class CliWorkflow : public ::testing::Test {
@@ -53,6 +60,8 @@ class CliWorkflow : public ::testing::Test {
     ASSERT_EQ(sim.exit_code, 0) << sim.output;
   }
   static void TearDownTestSuite() {
+    std::remove(topo_->c_str());
+    std::remove(obs_->c_str());
     delete topo_;
     delete obs_;
   }
@@ -109,8 +118,11 @@ TEST_F(CliWorkflow, MergeWritesTransformedTopology) {
   const CommandResult r = run_cli("merge --topology " + *topo_ +
                                   " --out " + out);
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  std::ifstream is(out);
-  EXPECT_TRUE(is.good());
+  {
+    std::ifstream is(out);
+    EXPECT_TRUE(is.good());
+  }
+  std::remove(out.c_str());
 }
 
 TEST_F(CliWorkflow, LocalizeReportsLinks) {

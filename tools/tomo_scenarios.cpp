@@ -1,0 +1,155 @@
+// Scenario registry front-end: lists every named scenario and runs any of
+// them end to end (build topology → simulate → correlation + independence
+// algorithms → error summary), on the same shared flags as the bench
+// binaries. `--list` is the default; `--scenario <name>` runs one entry,
+// `--all` runs the whole catalog. Stdout is byte-identical for any --jobs.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/error_metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace tomo;
+
+std::string special_knobs(const core::ScenarioConfig& c) {
+  std::string out;
+  const auto append = [&out](const std::string& part) {
+    out += out.empty() ? part : " " + part;
+  };
+  if (c.burst_length > 1.0) {
+    append("burst=" + Table::fmt(c.burst_length, 0));
+  }
+  if (c.unidentifiable_fraction > 0.0) {
+    append("unident=" + Table::fmt(100.0 * c.unidentifiable_fraction, 0) +
+           "%");
+  }
+  if (c.mislabeled_fraction > 0.0) {
+    append("worm=" + Table::fmt(100.0 * c.mislabeled_fraction, 0) + "%");
+  }
+  return out.empty() ? "-" : out;
+}
+
+void list_catalog(bench::Run& run) {
+  Table table({"scenario", "topology", "correlation", "vps", "cluster",
+               "special", "descends_from"});
+  for (const core::CatalogEntry& entry :
+       core::ScenarioCatalog::instance().entries()) {
+    const core::ScenarioConfig& c = entry.config;
+    const bool brite = c.topology == core::TopologyKind::kBrite;
+    table.add_row({entry.name, core::to_string(c.topology),
+                   c.level == core::CorrelationLevel::kHigh ? "high"
+                                                            : "loose",
+                   std::to_string(brite ? c.as_endpoints : c.vantage_points),
+                   std::to_string(c.cluster_size), special_knobs(c),
+                   entry.figure});
+  }
+  std::cout << "# Scenario registry — "
+            << core::ScenarioCatalog::instance().entries().size()
+            << " scenarios (docs/SCENARIOS.md has the full catalogue)\n";
+  run.table("scenario registry", table);
+}
+
+struct ScenarioScore {
+  std::size_t links = 0, paths = 0, sets = 0;
+  double corr_mean = 0.0, corr_p90 = 0.0;
+  double ind_mean = 0.0, ind_p90 = 0.0;
+};
+
+/// One catalog entry, end to end: --trials experiments across --jobs
+/// workers, reduced in trial order.
+ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
+                        std::uint64_t tag) {
+  const bench::Settings& s = run.settings();
+  const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
+    core::ScenarioConfig config = entry.config;
+    if (s.full) bench::scale_to_paper(config);
+    config.seed = ctx.seed(tag);
+    const auto inst = core::build_scenario(config);
+    const auto result =
+        core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
+    ScenarioScore score;
+    score.links = inst.graph.link_count();
+    score.paths = inst.paths.size();
+    score.sets = inst.declared_sets.set_count();
+    score.corr_mean = mean(result.correlation_errors());
+    score.corr_p90 = percentile(result.correlation_errors(), 90.0);
+    score.ind_mean = mean(result.independence_errors());
+    score.ind_p90 = percentile(result.independence_errors(), 90.0);
+    return score;
+  });
+  ScenarioScore total;
+  if (outcomes.empty()) return total;  // --trials 0
+  // Instance shape from trial 0 (each trial reseeds the topology, so
+  // counts vary slightly across trials); errors averaged over all trials.
+  total.links = outcomes.front().value.links;
+  total.paths = outcomes.front().value.paths;
+  total.sets = outcomes.front().value.sets;
+  const double trials = static_cast<double>(outcomes.size());
+  for (const auto& outcome : outcomes) {
+    total.corr_mean += outcome.value.corr_mean / trials;
+    total.corr_p90 += outcome.value.corr_p90 / trials;
+    total.ind_mean += outcome.value.ind_mean / trials;
+    total.ind_p90 += outcome.value.ind_p90 / trials;
+  }
+  run.metric(entry.name + "_correlation_mean_err", total.corr_mean);
+  run.metric(entry.name + "_independence_mean_err", total.ind_mean);
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags("tomo_scenarios",
+              "list or run the named scenarios of the registry");
+  bench::add_common_flags(flags);
+  flags.add_bool("list", false,
+                 "print the catalogue and exit (default with no --scenario)");
+  flags.add_bool("all", false, "run every registry scenario");
+  if (!flags.parse(argc, argv)) return 0;
+  const bench::Settings s = bench::settings_from_flags(flags);
+  bench::Run run("tomo_scenarios", s);
+
+  const bool run_all = flags.get_bool("all");
+  TOMO_REQUIRE(!(run_all && !s.scenario.empty()),
+               "--all and --scenario are mutually exclusive");
+  if (flags.get_bool("list") || (s.scenario.empty() && !run_all)) {
+    list_catalog(run);
+    run.finish();
+    return 0;
+  }
+
+  std::vector<const core::CatalogEntry*> selected;
+  if (run_all) {
+    for (const auto& entry : core::ScenarioCatalog::instance().entries()) {
+      selected.push_back(&entry);
+    }
+  } else {
+    selected.push_back(&core::ScenarioCatalog::instance().at(s.scenario));
+  }
+
+  Table table({"scenario", "links", "paths", "sets", "correlation_mean_err",
+               "correlation_p90_err", "independence_mean_err",
+               "independence_p90_err"});
+  std::cout << "# Scenario runs — " << s.trials << " trial(s) x "
+            << s.snapshots << " snapshots x " << s.packets
+            << " packets/path\n";
+  for (const core::CatalogEntry* entry : selected) {
+    // Seed tag from the registry index so a single-scenario run and the
+    // same scenario inside --all see identical trials.
+    const std::uint64_t index = static_cast<std::uint64_t>(
+        entry - core::ScenarioCatalog::instance().entries().data());
+    const ScenarioScore score =
+        run_entry(run, *entry, 0x5ce00 + index * 0x100);
+    table.add_row({entry->name, std::to_string(score.links),
+                   std::to_string(score.paths), std::to_string(score.sets),
+                   Table::fmt(score.corr_mean), Table::fmt(score.corr_p90),
+                   Table::fmt(score.ind_mean), Table::fmt(score.ind_p90)});
+  }
+  run.table("scenario scores", table);
+  run.finish();
+  return 0;
+}
