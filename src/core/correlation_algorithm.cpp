@@ -84,11 +84,11 @@ InferenceResult infer_congestion(const graph::Graph& g,
   if (options.weight_by_variance && measurement.sample_count() > 0) {
     EquationSystem weighted = result.system;
     apply_variance_weights(weighted, measurement.sample_count());
-    solution =
-        linalg::solve_log_system(weighted.a, weighted.y, options.solver);
-  } else {
-    solution = linalg::solve_log_system(result.system.a, result.system.y,
+    solution = linalg::solve_log_system(weighted.matrix(), weighted.rhs(),
                                         options.solver);
+  } else {
+    solution = linalg::solve_log_system(result.system.matrix(),
+                                        result.system.rhs(), options.solver);
   }
   result.log_good = solution.x;
   result.solver_detail = solution.detail;

@@ -1,32 +1,131 @@
 #include "core/equations.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <unordered_set>
+#include <memory>
+#include <optional>
 
 #include "linalg/rank_tracker.hpp"
 #include "sim/estimator.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tomo::core {
 
 namespace {
 
-std::vector<graph::LinkId> sorted_links(const std::vector<graph::LinkId>& in) {
-  std::vector<graph::LinkId> out = in;
-  std::sort(out.begin(), out.end());
-  return out;
+/// sorted_union into a reused buffer (keeps its capacity across candidates;
+/// a manual merge into pre-sized storage skips back_inserter's per-element
+/// capacity checks on the hot path).
+void sorted_union_into(const std::vector<graph::LinkId>& a,
+                       const std::vector<graph::LinkId>& b,
+                       std::vector<graph::LinkId>& out) {
+  out.resize(a.size() + b.size());
+  graph::LinkId* dst = out.data();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      *dst++ = a[i++];
+    } else if (b[j] < a[i]) {
+      *dst++ = b[j++];
+    } else {
+      *dst++ = a[i++];
+      ++j;
+    }
+  }
+  while (i < a.size()) *dst++ = a[i++];
+  while (j < b.size()) *dst++ = b[j++];
+  out.resize(static_cast<std::size_t>(dst - out.data()));
 }
 
-std::vector<graph::LinkId> sorted_union(const std::vector<graph::LinkId>& a,
-                                        const std::vector<graph::LinkId>& b) {
-  std::vector<graph::LinkId> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
-  return out;
+/// True iff `link` is the lowest link shared by the two sorted link lists —
+/// the "lowest-touch-link" ownership rule that deduplicates pair candidates
+/// without a global seen-set: a pair is emitted only from the per-link scan
+/// of its lowest shared link, which is also where the historical seen-set
+/// first encountered it, so the candidate order is unchanged. `link` must
+/// be present in both lists.
+bool owns_pair(graph::LinkId link, const std::vector<graph::LinkId>& a,
+               const std::vector<graph::LinkId>& b) {
+  std::size_t i = 0, j = 0;
+  while (a[i] < link && b[j] < link) {
+    if (a[i] == b[j]) return false;  // an earlier shared link owns the pair
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
 }
+
+/// Number of links shared by two sorted link lists.
+std::size_t count_common(const std::vector<graph::LinkId>& a,
+                         const std::vector<graph::LinkId>& b) {
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+/// Per-path correlation-set signatures: one bit per correlation set,
+/// path-major. Built only for pair-eligible paths (usable and individually
+/// correlation-free), which is what makes the pair precheck exact: an
+/// eligible path touches each correlation set at most once, so the union of
+/// two eligible paths is correlation-free iff every set they share is
+/// reached through a shared link — i.e. iff the number of shared signature
+/// bits equals the number of shared links.
+class SetSignatures {
+ public:
+  SetSignatures(const corr::CorrelationSets& sets,
+                const graph::CoverageIndex& coverage,
+                const std::vector<std::uint8_t>& eligible)
+      : words_((sets.set_count() + 63) / 64),
+        bits_(coverage.path_count() * words_, 0) {
+    for (graph::PathId p = 0; p < coverage.path_count(); ++p) {
+      if (!eligible[p]) continue;
+      std::uint64_t* row = bits_.data() + p * words_;
+      for (graph::LinkId e : coverage.sorted_links_of(p)) {
+        const std::size_t s = sets.set_of(e);
+        row[s / 64] |= std::uint64_t{1} << (s % 64);
+      }
+    }
+  }
+
+  /// Number of correlation sets touched by both paths.
+  std::size_t shared_sets(graph::PathId p, graph::PathId q) const {
+    const std::uint64_t* a = bits_.data() + p * words_;
+    const std::uint64_t* b = bits_.data() + q * words_;
+    std::size_t shared = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      shared += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+    }
+    return shared;
+  }
+
+ private:
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Precomputed verdict for one pair candidate: everything the sequential
+/// merge needs, produced by (possibly parallel) pure evaluation.
+struct CandidateEval {
+  bool corr_free = false;
+  sim::LogProbEstimate est;          // valid only when corr_free
+  std::vector<graph::LinkId> links;  // sorted union, only when corr_free
+};
 
 }  // namespace
 
@@ -39,23 +138,37 @@ EquationSystem build_equations(const graph::CoverageIndex& coverage,
   TOMO_REQUIRE(coverage.path_count() == measurement.path_count(),
                "coverage and measurement disagree on path count");
 
+  const Stopwatch build_timer;
   const std::size_t link_count = coverage.link_count();
   const std::size_t path_count = coverage.path_count();
 
   EquationSystem sys;
   sys.link_count = link_count;
+  // Upper bounds: every path can yield a single, and pair acceptance is
+  // capped by the pair budget — one per link unless redundant mode raises
+  // it via max_pair_equations (non-redundant mode keeps at most |E| rows).
+  sys.equations.reserve(
+      path_count + std::max(link_count, options.include_redundant
+                                            ? options.max_pair_equations
+                                            : std::size_t{0}));
   linalg::RankTracker tracker(link_count);
 
-  // Per-path sorted link lists, reused throughout.
-  std::vector<std::vector<graph::LinkId>> plinks(path_count);
-  for (graph::PathId p = 0; p < path_count; ++p) {
-    plinks[p] = sorted_links(coverage.links_of(p));
-  }
+  // Per-path sorted link lists live on the coverage index, computed once
+  // per experiment rather than once per build.
+  const auto plinks = [&coverage](graph::PathId p) -> const auto& {
+    return coverage.sorted_links_of(p);
+  };
+
+  // Singleton structures cannot reject any candidate (every set holds one
+  // link and paths never repeat a link), so the correlation checks
+  // short-circuit to "correlation-free" — the independence run skips the
+  // per-path set scans entirely.
+  const bool all_singletons = sets.set_count() == sets.link_count();
 
   // Phase 1: single-path equations (paper Eq. 9).
   std::vector<std::uint8_t> eligible(path_count, 0);
   for (graph::PathId p = 0; p < path_count; ++p) {
-    if (!sets.correlation_free(plinks[p])) {
+    if (!all_singletons && !sets.correlation_free(plinks(p))) {
       ++sys.dropped_correlated;
       continue;
     }
@@ -67,18 +180,20 @@ EquationSystem build_equations(const graph::CoverageIndex& coverage,
       continue;
     }
     eligible[p] = 1;  // usable & correlation-free: a pair-phase citizen
-    const bool independent = tracker.try_add_ones(plinks[p]);
+    const bool independent = tracker.try_add_ones(plinks(p));
     if (!independent && !options.include_redundant) {
       ++sys.dropped_dependent;
       continue;
     }
-    sys.equations.push_back(Equation{plinks[p], {p}, est.log_prob});
+    sys.equations.push_back(Equation{plinks(p), {p}, est.log_prob});
     ++sys.n1;
   }
 
   // Phase 2: pair equations (paper Eq. 10). Only pairs sharing at least
   // one link can increase rank, so candidates are generated from the
-  // per-link path lists.
+  // per-link path lists; the lowest shared link of a pair "owns" it, which
+  // deduplicates candidates without a global seen-set while preserving the
+  // historical first-encounter order.
   const std::size_t pair_budget =
       options.include_redundant
           ? (options.max_pair_equations != 0 ? options.max_pair_equations
@@ -88,7 +203,6 @@ EquationSystem build_equations(const graph::CoverageIndex& coverage,
       options.use_pairs &&
       (options.include_redundant || !tracker.full_rank());
   if (want_pairs) {
-    std::unordered_set<std::uint64_t> seen;
     std::vector<std::pair<graph::PathId, graph::PathId>> candidates;
     for (graph::LinkId e = 0; e < link_count; ++e) {
       const auto& through = coverage.paths_through(e);
@@ -96,10 +210,7 @@ EquationSystem build_equations(const graph::CoverageIndex& coverage,
         if (!eligible[through[i]]) continue;
         for (std::size_t j = i + 1; j < through.size(); ++j) {
           if (!eligible[through[j]]) continue;
-          const std::uint64_t key =
-              static_cast<std::uint64_t>(through[i]) * path_count +
-              through[j];
-          if (seen.insert(key).second) {
+          if (owns_pair(e, plinks(through[i]), plinks(through[j]))) {
             candidates.emplace_back(through[i], through[j]);
           }
         }
@@ -107,57 +218,133 @@ EquationSystem build_equations(const graph::CoverageIndex& coverage,
     }
     Rng rng(options.shuffle_seed);
     rng.shuffle(candidates);
-    for (const auto& [p, q] : candidates) {
-      const bool budget_reached =
-          options.include_redundant && sys.n2 >= pair_budget;
-      if (tracker.full_rank() && (!options.include_redundant ||
-                                  budget_reached)) {
-        break;
+
+    // Only built when the precheck will actually consult it: singleton
+    // structures short-circuit and the reference path scans the union.
+    std::optional<SetSignatures> signatures;
+    if (options.use_signature_precheck && !all_singletons) {
+      signatures.emplace(sets, coverage, eligible);
+    }
+
+    // Pure per-candidate evaluation; safe to run on any worker. Slots are
+    // reused across batches (links keeps its capacity), so rejected
+    // candidates allocate nothing after warm-up.
+    const auto evaluate = [&](std::size_t idx, CandidateEval& ev) {
+      const auto& [p, q] = candidates[idx];
+      if (options.use_signature_precheck) {
+        ev.corr_free =
+            all_singletons ||
+            signatures->shared_sets(p, q) ==
+                count_common(plinks(p), plinks(q));
+        if (ev.corr_free) {
+          sorted_union_into(plinks(p), plinks(q), ev.links);
+        }
+      } else {
+        // Reference path: materialize the union, scan it against the sets.
+        sorted_union_into(plinks(p), plinks(q), ev.links);
+        ev.corr_free = sets.correlation_free(ev.links);
       }
-      if (options.max_pair_candidates != 0 &&
-          sys.pair_candidates_tried >= options.max_pair_candidates) {
-        break;
+      if (ev.corr_free) {
+        ev.est = sim::log_estimate(measurement.pair_good_prob(p, q),
+                                   measurement.sample_count(),
+                                   options.min_good_snapshots);
       }
-      ++sys.pair_candidates_tried;
-      std::vector<graph::LinkId> links = sorted_union(plinks[p], plinks[q]);
-      if (!sets.correlation_free(links)) {
-        ++sys.dropped_correlated;
-        continue;
+    };
+
+    // Candidates are evaluated in fixed batches (parallel when jobs > 1)
+    // and merged strictly in candidate order, replaying the sequential
+    // loop's budget/rank/cap control flow — so counters, accepted
+    // equations, and their order are byte-identical for any jobs value.
+    // Work past the merge's break point is at most one batch of waste.
+    constexpr std::size_t kBatch = 128;
+    const std::size_t jobs =
+        candidates.size() > kBatch ? util::resolve_jobs(options.jobs) : 1;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (jobs > 1) pool = std::make_unique<util::ThreadPool>(jobs);
+
+    std::vector<CandidateEval> evals(std::min(kBatch, candidates.size()));
+    bool stop = false;
+    for (std::size_t start = 0; start < candidates.size() && !stop;
+         start += kBatch) {
+      const std::size_t end = std::min(start + kBatch, candidates.size());
+      const std::size_t batch = end - start;
+      if (pool) {
+        const std::size_t chunk = (batch + jobs - 1) / jobs;
+        std::vector<std::future<void>> done;
+        for (std::size_t cs = 0; cs < batch; cs += chunk) {
+          const std::size_t ce = std::min(cs + chunk, batch);
+          done.push_back(pool->submit([&, cs, ce] {
+            for (std::size_t k = cs; k < ce; ++k) {
+              evaluate(start + k, evals[k]);
+            }
+          }));
+        }
+        for (auto& f : done) f.get();
+      } else {
+        for (std::size_t k = 0; k < batch; ++k) {
+          evaluate(start + k, evals[k]);
+        }
       }
-      const sim::LogProbEstimate est = sim::log_estimate(
-          measurement.pair_good_prob(p, q), measurement.sample_count(),
-          options.min_good_snapshots);
-      if (!est.usable) {
-        ++sys.dropped_unusable;
-        continue;
+
+      for (std::size_t k = 0; k < batch; ++k) {
+        const bool budget_reached =
+            options.include_redundant && sys.n2 >= pair_budget;
+        if (tracker.full_rank() && (!options.include_redundant ||
+                                    budget_reached)) {
+          stop = true;
+          break;
+        }
+        if (options.max_pair_candidates != 0 &&
+            sys.pair_candidates_tried >= options.max_pair_candidates) {
+          stop = true;
+          break;
+        }
+        ++sys.pair_candidates_tried;
+        CandidateEval& ev = evals[k];
+        if (!ev.corr_free) {
+          ++sys.dropped_correlated;
+          continue;
+        }
+        if (!ev.est.usable) {
+          ++sys.dropped_unusable;
+          continue;
+        }
+        // Once full rank is reached, redundant-mode acceptance no longer
+        // needs the (expensive) elimination sweep.
+        const bool independent =
+            tracker.full_rank() ? false : tracker.try_add_ones(ev.links);
+        if (!independent && (!options.include_redundant || budget_reached)) {
+          // Past the budget, only rank-increasing pairs are still worth
+          // taking (the hunt for missing columns continues).
+          ++sys.dropped_dependent;
+          continue;
+        }
+        const auto& [p, q] = candidates[start + k];
+        sys.equations.push_back(
+            Equation{std::move(ev.links), {p, q}, ev.est.log_prob});
+        ++sys.n2;
       }
-      // Once full rank is reached, redundant-mode acceptance no longer
-      // needs the (expensive) elimination sweep.
-      const bool independent =
-          tracker.full_rank() ? false : tracker.try_add_ones(links);
-      if (!independent && (!options.include_redundant || budget_reached)) {
-        // Past the budget, only rank-increasing pairs are still worth
-        // taking (the hunt for missing columns continues).
-        ++sys.dropped_dependent;
-        continue;
-      }
-      sys.equations.push_back(Equation{std::move(links), {p, q}, est.log_prob});
-      ++sys.n2;
     }
   }
 
   sys.rank = tracker.rank();
   TOMO_ASSERT(options.include_redundant || sys.rank == sys.n1 + sys.n2);
 
-  sys.a = linalg::Matrix(sys.equations.size(), link_count);
-  sys.y.resize(sys.equations.size());
-  for (std::size_t i = 0; i < sys.equations.size(); ++i) {
-    for (graph::LinkId e : sys.equations[i].links) {
-      sys.a(i, e) = 1.0;
-    }
-    sys.y[i] = sys.equations[i].y;
-  }
+  sys.build_seconds = build_timer.seconds();
   return sys;
+}
+
+void EquationSystem::ensure_dense() const {
+  if (dense_ready_) return;
+  a_ = linalg::Matrix(equations.size(), link_count);
+  y_.resize(equations.size());
+  for (std::size_t i = 0; i < equations.size(); ++i) {
+    for (graph::LinkId e : equations[i].links) {
+      a_(i, e) = 1.0;
+    }
+    y_[i] = equations[i].y;
+  }
+  dense_ready_ = true;
 }
 
 }  // namespace tomo::core
@@ -173,10 +360,13 @@ void apply_variance_weights(EquationSystem& system, std::size_t samples) {
     // system. Guard the p == 1 case (zero variance) with one pseudo-count.
     const double variance = std::max((1.0 - p) / (p * n), 1.0 / (n * n));
     const double weight = 1.0 / std::sqrt(variance);
-    for (std::size_t c = 0; c < system.a.cols(); ++c) {
-      system.a(i, c) *= weight;
+    // Only the equation's support columns carry the row's 1-entries; the
+    // structural zeros must stay untouched rather than being multiplied
+    // across the whole dense row.
+    for (graph::LinkId e : system.equations[i].links) {
+      system.matrix()(i, e) *= weight;
     }
-    system.y[i] *= weight;
+    system.rhs()[i] *= weight;
   }
 }
 

@@ -11,6 +11,16 @@
 // increasing equations with usable measurements (non-zero empirical
 // probability) are kept. The result is N1 + N2 <= |E| independent
 // equations, exactly the system the paper solves.
+//
+// The pair harvest is the hot path at dense-mesh scale and is built as a
+// streaming generator: per-link candidate emission deduplicated by
+// lowest-touch-link ownership (no global seen-set), an exact
+// correlation-set-signature precheck that decides correlation_free(union)
+// without materializing the union, and batched candidate evaluation fanned
+// across a worker pool with a deterministic candidate-order merge — the
+// accepted system is byte-identical to the historical sequential build for
+// any jobs value, which the differential suite (test_equations_fast)
+// enforces against the reference paths.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +40,7 @@ struct Equation {
 };
 
 struct EquationSystem {
-  linalg::Matrix a;   // |equations| x |links| incidence matrix
-  linalg::Vector y;   // right-hand sides
-  std::vector<Equation> equations;
+  std::vector<Equation> equations;  // the harvest's sparse product
   std::size_t link_count = 0;
   std::size_t n1 = 0;             // accepted single-path equations
   std::size_t n2 = 0;             // accepted pair equations
@@ -41,8 +49,34 @@ struct EquationSystem {
   std::size_t dropped_unusable = 0;    // zero/low empirical probability
   std::size_t dropped_dependent = 0;   // linearly dependent candidates
   std::size_t pair_candidates_tried = 0;
+  /// Wall seconds spent inside build_equations (harvest telemetry; not a
+  /// metric — never printed on stdout).
+  double build_seconds = 0.0;
 
   bool full_rank() const { return rank == link_count; }
+
+  /// Dense solver-facing views of the harvest: the |equations| x |links|
+  /// 0/1 incidence matrix and the right-hand sides. Materialized from
+  /// `equations` on first access and cached — the harvest itself never
+  /// pays for megabytes of structural zeros, and discarded intermediate
+  /// systems (demotion rounds) never materialize at all. The mutable
+  /// overloads exist for in-place reweighting (apply_variance_weights);
+  /// they materialize first, so weighted entries are never rebuilt over.
+  /// NOTE: first access mutates the cache without synchronization, so the
+  /// const overloads are not safe to call concurrently on a shared system
+  /// — materialize once (or give each thread its own copy) before fanning
+  /// out.
+  const linalg::Matrix& matrix() const { ensure_dense(); return a_; }
+  const linalg::Vector& rhs() const { ensure_dense(); return y_; }
+  linalg::Matrix& matrix() { ensure_dense(); return a_; }
+  linalg::Vector& rhs() { ensure_dense(); return y_; }
+
+ private:
+  void ensure_dense() const;
+
+  mutable bool dense_ready_ = false;
+  mutable linalg::Matrix a_;
+  mutable linalg::Vector y_;
 };
 
 struct EquationBuildOptions {
@@ -64,6 +98,19 @@ struct EquationBuildOptions {
   /// Cap on accepted pair equations in redundant mode (0 = one per link,
   /// i.e. |E|). Ignored when include_redundant is false.
   std::size_t max_pair_equations = 0;
+  /// Worker threads for the batched pair-candidate evaluation (1 = inline
+  /// on the caller, 0 = all hardware cores). Candidates are precomputed in
+  /// fixed batches and merged in candidate order, so the built system —
+  /// and therefore stdout — is byte-identical for any value. Keep 1 when
+  /// trials already fan out across a pool (nested pools oversubscribe).
+  std::size_t jobs = 1;
+  /// When true (default), correlation_free(union) for a pair candidate is
+  /// decided from per-path correlation-set signatures (exact for phase-2
+  /// candidates, whose paths are individually correlation-free) without
+  /// materializing the union. When false, the scalar reference path —
+  /// materialize the sorted union, scan it against the declared sets — is
+  /// used instead; differential tests pin the two against each other.
+  bool use_signature_precheck = true;
 };
 
 /// Builds the equation system for the given correlation structure. Pass

@@ -52,14 +52,24 @@ ScenarioCatalog::ScenarioCatalog() {
   {
     ScenarioConfig c;
     c.topology = TopologyKind::kWaxman;
-    // Inference cost grows superquadratically in the path count (pair
-    // equations), so "dense" is capped at 20 vantage points (~380 paths);
-    // see docs/SCENARIOS.md for measured runtimes.
-    c.vantage_points = 20;
+    // Uncapped since the streaming equation harvest (PR 4): 40 vantage
+    // points = 1560 ordered-pair paths on the dense mesh. The harvest is
+    // no longer the bottleneck; see docs/SCENARIOS.md for runtimes.
+    c.vantage_points = 40;
     c.waxman_alpha = 0.20;
     c.cluster_size = 4;
     add("waxman-dense-vps", "new workload",
-        "dense Waxman mesh, 20 vantage points, small correlation sets", c);
+        "dense Waxman mesh, 40 vantage points, small correlation sets", c);
+  }
+  {
+    ScenarioConfig c;
+    c.topology = TopologyKind::kWaxman;
+    // The ROADMAP's full-scale measured mesh: ~870 ordered-pair paths over
+    // a large sparse Waxman graph, previously hours per trial.
+    c.routers = 280;
+    c.vantage_points = 30;
+    add("waxman-full", "§5 scale stress",
+        "large Waxman mesh, 30 vantage points, ~870 measured paths", c);
   }
   {
     ScenarioConfig c;

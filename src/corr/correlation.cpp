@@ -50,15 +50,23 @@ bool CorrelationSets::may_be_correlated(LinkId a, LinkId b) const {
 bool CorrelationSets::correlation_free(
     const std::vector<LinkId>& links) const {
   // Typical inputs are short (a path or a pair of paths), so a small
-  // scratch vector beats a hash set.
-  std::vector<std::size_t> seen;
-  seen.reserve(links.size());
+  // scratch array beats a hash set; stay on the stack for the common case
+  // (the equation harvest calls this once per path per build).
+  constexpr std::size_t kStack = 64;
+  std::size_t stack_seen[kStack];
+  std::vector<std::size_t> heap_seen;
+  std::size_t* seen = stack_seen;
+  if (links.size() > kStack) {
+    heap_seen.resize(links.size());
+    seen = heap_seen.data();
+  }
+  std::size_t count = 0;
   for (LinkId link : links) {
     const std::size_t s = set_of(link);
-    if (std::find(seen.begin(), seen.end(), s) != seen.end()) {
+    if (std::find(seen, seen + count, s) != seen + count) {
       return false;
     }
-    seen.push_back(s);
+    seen[count++] = s;
   }
   return true;
 }

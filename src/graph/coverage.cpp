@@ -18,6 +18,10 @@ CoverageIndex::CoverageIndex(const Graph& g, const std::vector<Path>& paths) {
   }
   // Path ids are appended in increasing order, so each list is sorted and
   // duplicate-free already (a path never repeats a link).
+  path_links_sorted_ = path_links_;
+  for (auto& links : path_links_sorted_) {
+    std::sort(links.begin(), links.end());
+  }
 }
 
 const PathIdSet& CoverageIndex::paths_through(LinkId link) const {
@@ -28,6 +32,11 @@ const PathIdSet& CoverageIndex::paths_through(LinkId link) const {
 const std::vector<LinkId>& CoverageIndex::links_of(PathId path) const {
   TOMO_REQUIRE(path < path_links_.size(), "path id out of range");
   return path_links_[path];
+}
+
+const std::vector<LinkId>& CoverageIndex::sorted_links_of(PathId path) const {
+  TOMO_REQUIRE(path < path_links_sorted_.size(), "path id out of range");
+  return path_links_sorted_[path];
 }
 
 PathIdSet CoverageIndex::covered_paths(

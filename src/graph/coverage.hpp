@@ -30,6 +30,12 @@ class CoverageIndex {
   /// Links traversed by a path (in path order).
   const std::vector<LinkId>& links_of(PathId path) const;
 
+  /// Links traversed by a path, sorted ascending. Precomputed once here so
+  /// every equation build over this index (correlation + independence runs,
+  /// demotion-round rebuilds) reuses the same rows instead of re-sorting
+  /// per build.
+  const std::vector<LinkId>& sorted_links_of(PathId path) const;
+
   /// ψ(A): the union of paths_through(e) over e in `links`.
   PathIdSet covered_paths(const std::vector<LinkId>& links) const;
 
@@ -39,6 +45,7 @@ class CoverageIndex {
  private:
   std::vector<PathIdSet> paths_through_;      // link -> sorted path ids
   std::vector<std::vector<LinkId>> path_links_;  // path -> links
+  std::vector<std::vector<LinkId>> path_links_sorted_;
 };
 
 /// Set union of two canonical PathIdSets.

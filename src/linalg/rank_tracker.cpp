@@ -1,6 +1,8 @@
 #include "linalg/rank_tracker.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/error.hpp"
 
@@ -11,57 +13,125 @@ namespace {
 constexpr double kTol = 1e-9;
 }  // namespace
 
-RankTracker::RankTracker(std::size_t dim) : dim_(dim) {
+RankTracker::RankTracker(std::size_t dim)
+    : dim_(dim),
+      pivot_index_(dim, kNoPivot),
+      values_(dim, 0.0),
+      touched_flag_(dim, 0) {
   TOMO_REQUIRE(dim > 0, "rank tracker needs a positive dimension");
 }
 
-std::size_t RankTracker::reduce(Vector& row) const {
+void RankTracker::clear_scratch() {
+  for (std::size_t c : touched_) {
+    values_[c] = 0.0;
+    touched_flag_[c] = 0;
+  }
+  touched_.clear();
+  heap_.clear();
+}
+
+bool RankTracker::reduce_and_absorb() {
   // Basis rows are in echelon form: a row's pivot column is its smallest
   // "owned" column, and subtracting it only perturbs columns >= that pivot.
-  // Sweeping pivots in ascending column order therefore zeroes every pivot
-  // column of `row` in a single pass.
-  for (const auto& [pivot_col, basis_row] : basis_) {
-    const double coeff = row[pivot_col];
+  // Eliminating pivots in ascending column order therefore zeroes every
+  // pivot column of the candidate in a single pass. The heap serves exactly
+  // the candidate's touched pivot columns in that order: an untouched pivot
+  // column holds an exact zero, which the historical dense sweep skipped
+  // too, and columns first touched by an elimination at pivot c lie beyond
+  // c, so pushing them preserves the ascending order.
+  const auto greater = std::greater<std::size_t>();
+  heap_.assign(touched_.begin(), touched_.end());
+  std::erase_if(heap_,
+                [&](std::size_t c) { return pivot_index_[c] == kNoPivot; });
+  std::make_heap(heap_.begin(), heap_.end(), greater);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), greater);
+    const std::size_t pivot_col = heap_.back();
+    heap_.pop_back();
+    const double coeff = values_[pivot_col];
     if (std::abs(coeff) <= kTol) continue;
-    for (std::size_t c = pivot_col; c < dim_; ++c) {
-      row[c] -= coeff * basis_row[c];
+    const SparseRow& basis_row = basis_[pivot_index_[pivot_col]];
+    for (std::size_t k = 0; k < basis_row.cols.size(); ++k) {
+      const std::size_t c = basis_row.cols[k];
+      if (!touched_flag_[c]) {
+        touched_flag_[c] = 1;
+        touched_.push_back(c);
+        if (pivot_index_[c] != kNoPivot) {
+          heap_.push_back(c);
+          std::push_heap(heap_.begin(), heap_.end(), greater);
+        }
+      }
+      values_[c] -= coeff * basis_row.vals[k];
     }
-    row[pivot_col] = 0.0;
+    values_[pivot_col] = 0.0;
   }
-  // The pivot must be the row's first non-negligible entry: the echelon
-  // invariant (a basis row is zero before its pivot column) is what makes
-  // the single ascending sweep above correct.
-  for (std::size_t c = 0; c < dim_; ++c) {
-    if (std::abs(row[c]) > kTol) {
-      return c;
+  // The pivot must be the candidate's first non-negligible entry: the
+  // echelon invariant (a basis row is zero before its pivot column) is what
+  // makes the single ascending sweep above correct.
+  std::size_t pivot = dim_;
+  for (std::size_t c : touched_) {
+    if (std::abs(values_[c]) > kTol && c < pivot) {
+      pivot = c;
     }
   }
-  return dim_;
+  if (pivot == dim_) {
+    clear_scratch();
+    return false;
+  }
+  std::sort(touched_.begin(), touched_.end());
+  const double scale = values_[pivot];
+  SparseRow row;
+  row.cols.reserve(touched_.size());
+  row.vals.reserve(touched_.size());
+  for (std::size_t c : touched_) {
+    // Entries before the pivot are below tolerance by construction; drop
+    // them exactly so the echelon invariant holds bit-for-bit.
+    if (c < pivot) continue;
+    const double v = values_[c] / scale;
+    if (v != 0.0) {
+      row.cols.push_back(static_cast<std::uint32_t>(c));
+      row.vals.push_back(v);
+    }
+  }
+  pivot_index_[pivot] = basis_.size();
+  basis_.push_back(std::move(row));
+  clear_scratch();
+  return true;
 }
 
 bool RankTracker::try_add_dense(const Vector& row) {
   TOMO_REQUIRE(row.size() == dim_, "rank tracker row width mismatch");
   if (full_rank()) return false;
-  Vector reduced = row;
-  const std::size_t pivot = reduce(reduced);
-  if (pivot == dim_) return false;
-  const double scale = reduced[pivot];
-  for (double& v : reduced) v /= scale;
-  // Entries before the pivot are below tolerance by construction; zero them
-  // exactly so the echelon invariant holds bit-for-bit.
-  for (std::size_t c = 0; c < pivot; ++c) reduced[c] = 0.0;
-  basis_.emplace(pivot, std::move(reduced));
-  return true;
+  for (std::size_t c = 0; c < dim_; ++c) {
+    if (row[c] != 0.0) {
+      touch(c);
+      values_[c] = row[c];
+    }
+  }
+  return reduce_and_absorb();
 }
 
 bool RankTracker::try_add_ones(const std::vector<std::size_t>& one_indices) {
-  Vector row(dim_, 0.0);
   for (std::size_t idx : one_indices) {
-    TOMO_REQUIRE(idx < dim_, "rank tracker index out of range");
-    TOMO_REQUIRE(row[idx] == 0.0, "duplicate index in 0/1 row");
-    row[idx] = 1.0;
+    // Leave the accumulator clean before surfacing either error: the
+    // scratch persists across calls, so a caller that catches the Error
+    // and keeps using the tracker must not inherit phantom entries.
+    if (idx >= dim_) {
+      clear_scratch();
+      TOMO_REQUIRE(false, "rank tracker index out of range");
+    }
+    if (touched_flag_[idx]) {
+      clear_scratch();
+      TOMO_REQUIRE(false, "duplicate index in 0/1 row");
+    }
+    touch(idx);
+    values_[idx] = 1.0;
   }
-  return try_add_dense(row);
+  if (full_rank()) {
+    clear_scratch();
+    return false;
+  }
+  return reduce_and_absorb();
 }
 
 }  // namespace tomo::linalg

@@ -1,22 +1,72 @@
 #include "sim/measurement.hpp"
 
+#include <bit>
+
+#include "util/error.hpp"
+
 namespace tomo::sim {
 
-EmpiricalMeasurement::EmpiricalMeasurement(const PathObservations& obs)
-    : obs_(obs) {}
+EmpiricalMeasurement::EmpiricalMeasurement(const PathObservations& obs,
+                                           bool use_bitset_cache)
+    : obs_(obs) {
+  if (!use_bitset_cache) return;
+  const std::size_t words = obs_.words_per_path();
+  const std::size_t tail = obs_.snapshot_count() % 64;
+  const std::uint64_t tail_mask =
+      tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
+  good_bits_.resize(obs_.path_count() * words);
+  good_counts_.resize(obs_.path_count());
+  for (PathId p = 0; p < obs_.path_count(); ++p) {
+    const std::uint64_t* congested = obs_.congested_words(p);
+    std::uint64_t* good = good_bits_.data() + p * words;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      good[w] = ~congested[w];
+      if (w == words - 1) good[w] &= tail_mask;
+      count += static_cast<std::size_t>(std::popcount(good[w]));
+    }
+    good_counts_[p] = count;
+  }
+}
 
 double EmpiricalMeasurement::all_good_prob(
     const std::vector<PathId>& paths) const {
   if (paths.empty()) return 1.0;
   std::size_t count;
   if (paths.size() == 1) {
-    count = obs_.good_count(paths[0]);
+    return good_prob(paths[0]);
   } else if (paths.size() == 2) {
-    count = obs_.both_good_count(paths[0], paths[1]);
+    return pair_good_prob(paths[0], paths[1]);
   } else {
     count = obs_.all_good_count(paths);
   }
   return static_cast<double>(count) /
+         static_cast<double>(obs_.snapshot_count());
+}
+
+double EmpiricalMeasurement::good_prob(PathId p) const {
+  TOMO_REQUIRE(p < obs_.path_count(), "path id out of range");
+  const std::size_t count =
+      uses_bitset_cache() ? good_counts_[p] : obs_.good_count(p);
+  return static_cast<double>(count) /
+         static_cast<double>(obs_.snapshot_count());
+}
+
+double EmpiricalMeasurement::pair_good_prob(PathId a, PathId b) const {
+  TOMO_REQUIRE(a < obs_.path_count() && b < obs_.path_count(),
+               "path id out of range");
+  if (!uses_bitset_cache()) {
+    return static_cast<double>(obs_.both_good_count(a, b)) /
+           static_cast<double>(obs_.snapshot_count());
+  }
+  const std::uint64_t* ra = good_row(a);
+  const std::uint64_t* rb = good_row(b);
+  const std::size_t words = obs_.words_per_path();
+  std::size_t both = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    both += static_cast<std::size_t>(std::popcount(ra[w] & rb[w]));
+  }
+  return static_cast<double>(both) /
          static_cast<double>(obs_.snapshot_count());
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/coverage.hpp"
@@ -31,25 +32,51 @@ class MeasurementProvider {
   /// Number of snapshots backing the estimates (0 = exact oracle).
   virtual std::size_t sample_count() const = 0;
 
-  double good_prob(PathId p) const { return all_good_prob({p}); }
-  double pair_good_prob(PathId a, PathId b) const {
+  /// P(path `p` good) and P(both paths good). These are the equation
+  /// harvest's two hot queries; providers with a cheaper route than the
+  /// general set query (EmpiricalMeasurement's bitset cache) override them.
+  virtual double good_prob(PathId p) const { return all_good_prob({p}); }
+  virtual double pair_good_prob(PathId a, PathId b) const {
     return all_good_prob({a, b});
   }
 };
 
 /// Estimates from bit-packed snapshot observations.
+///
+/// Construction snapshots one good-mask bitset per path (the complement of
+/// the congested row, tail bits cleared) plus its popcount, so the harvest's
+/// pair_good_prob(p, q) is a word-wise AND + popcount over the two cached
+/// masks — no per-query re-scan of the observation history and no temporary
+/// path vectors. The cache is an exact view of the same bits, so every
+/// count (and therefore every downstream metric) is identical to the scalar
+/// path, which `use_bitset_cache = false` keeps available as a reference
+/// implementation for differential tests.
 class EmpiricalMeasurement final : public MeasurementProvider {
  public:
   /// Keeps a reference; `obs` must outlive the measurement.
-  explicit EmpiricalMeasurement(const PathObservations& obs);
+  explicit EmpiricalMeasurement(const PathObservations& obs,
+                                bool use_bitset_cache = true);
 
   std::size_t path_count() const override { return obs_.path_count(); }
   double all_good_prob(const std::vector<PathId>& paths) const override;
   double exact_pattern_prob(const PathIdSet& pattern) const override;
   std::size_t sample_count() const override { return obs_.snapshot_count(); }
 
+  double good_prob(PathId p) const override;
+  double pair_good_prob(PathId a, PathId b) const override;
+
+  bool uses_bitset_cache() const { return !good_bits_.empty(); }
+
  private:
+  const std::uint64_t* good_row(PathId p) const {
+    return good_bits_.data() + p * obs_.words_per_path();
+  }
+
   const PathObservations& obs_;
+  // Good-snapshot bitmask per path (bit n = path good in snapshot n),
+  // path-major; empty when the scalar reference path is requested.
+  std::vector<std::uint64_t> good_bits_;
+  std::vector<std::size_t> good_counts_;  // popcount(good_row(p)) per path
 };
 
 }  // namespace tomo::sim

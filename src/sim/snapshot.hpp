@@ -44,8 +44,16 @@ class PathObservations {
   /// needs: the empirical P(ψ(S) = ψ(A)).
   std::size_t exact_pattern_count(const PathIdSet& pattern) const;
 
- private:
+  /// Number of 64-bit words backing each path's snapshot row.
   std::size_t words_per_path() const { return (snapshot_count_ + 63) / 64; }
+
+  /// Raw congested-bit words of one path (words_per_path() of them, bit n =
+  /// snapshot n congested; tail bits beyond snapshot_count() are zero).
+  /// Lets callers derive cached views (e.g. per-path good-snapshot masks)
+  /// without re-walking set_congested history.
+  const std::uint64_t* congested_words(PathId p) const { return row(p); }
+
+ private:
   const std::uint64_t* row(PathId p) const;
   std::uint64_t* row(PathId p);
 

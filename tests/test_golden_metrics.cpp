@@ -172,6 +172,9 @@ TEST(GoldenMetrics, BriteLoose) { run_scenario_case("brite-loose"); }
 TEST(GoldenMetrics, PlanetLabHigh) { run_scenario_case("planetlab-high"); }
 TEST(GoldenMetrics, WaxmanBursty) { run_scenario_case("waxman-bursty"); }
 TEST(GoldenMetrics, WormMislabeled) { run_scenario_case("worm-mislabeled"); }
+// Pins the scenario the streaming equation harvest opened up: the
+// full-scale Waxman measured mesh is regression-guarded from day one.
+TEST(GoldenMetrics, WaxmanFull) { run_scenario_case("waxman-full"); }
 
 // Congestion-factor recovery: the theorem algorithm on the paper's worked
 // Figure 1(a) example, from simulated measurements. Pins the §3.2 factors

@@ -156,6 +156,19 @@ TEST(RankTracker, RejectsDuplicateIndices) {
   EXPECT_THROW(tracker.try_add_ones({1, 1}), Error);
 }
 
+TEST(RankTracker, StaysUsableAfterRejectedInput) {
+  // The sparse accumulator persists across calls; a throwing call
+  // (duplicate or out-of-range index) must leave it clean so later
+  // decisions are unaffected.
+  RankTracker tracker(3);
+  EXPECT_THROW(tracker.try_add_ones({0, 5}), Error);
+  EXPECT_THROW(tracker.try_add_ones({1, 1}), Error);
+  EXPECT_TRUE(tracker.try_add_ones({0}));
+  EXPECT_TRUE(tracker.try_add_ones({1}));
+  EXPECT_FALSE(tracker.try_add_ones({0, 1}));
+  EXPECT_EQ(tracker.rank(), 2u);
+}
+
 TEST(RankTracker, MatchesQrRankOnRandomZeroOneRows) {
   Rng rng(123);
   for (int trial = 0; trial < 10; ++trial) {

@@ -76,9 +76,9 @@ TEST_P(SeedSweep, EquationsHoldForTrueLogProbabilities) {
   for (graph::LinkId e = 0; e < x_true.size(); ++e) {
     x_true[e] = std::log(inst.truth->prob_all_good({e}));
   }
-  const linalg::Vector lhs = eq.a.multiply(x_true);
-  for (std::size_t i = 0; i < eq.y.size(); ++i) {
-    ASSERT_NEAR(lhs[i], eq.y[i], 1e-9) << "equation " << i;
+  const linalg::Vector lhs = eq.matrix().multiply(x_true);
+  for (std::size_t i = 0; i < eq.rhs().size(); ++i) {
+    ASSERT_NEAR(lhs[i], eq.rhs()[i], 1e-9) << "equation " << i;
   }
 }
 
@@ -90,9 +90,9 @@ TEST_P(SeedSweep, AcceptedEquationsAreLinearlyIndependent) {
   opts.include_redundant = false;  // the minimal §4 system
   const core::EquationSystem eq =
       core::build_equations(cov, inst.sets, oracle, opts);
-  ASSERT_GT(eq.a.rows(), 0u);
-  EXPECT_EQ(linalg::QrDecomposition(eq.a.transposed()).rank(), eq.a.rows());
-  EXPECT_EQ(eq.rank, eq.a.rows());
+  ASSERT_GT(eq.matrix().rows(), 0u);
+  EXPECT_EQ(linalg::QrDecomposition(eq.matrix().transposed()).rank(), eq.matrix().rows());
+  EXPECT_EQ(eq.rank, eq.matrix().rows());
   EXPECT_LE(eq.rank, inst.graph.link_count());
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/correlation_algorithm.hpp"
@@ -26,43 +27,67 @@ EquationSystem build_fig1a_system() {
 
 TEST(VarianceWeights, OracleSystemsAreLeftAlone) {
   EquationSystem sys = build_fig1a_system();
-  const linalg::Vector y_before = sys.y;
+  const linalg::Vector y_before = sys.rhs();
   apply_variance_weights(sys, /*samples=*/0);
-  EXPECT_EQ(sys.y, y_before);
+  EXPECT_EQ(sys.rhs(), y_before);
 }
 
 TEST(VarianceWeights, ScalesRowsAndRhsTogether) {
   EquationSystem sys = build_fig1a_system();
   const EquationSystem original = sys;
   apply_variance_weights(sys, 1000);
-  for (std::size_t i = 0; i < sys.y.size(); ++i) {
+  for (std::size_t i = 0; i < sys.rhs().size(); ++i) {
     // Rows and rhs must be scaled by the same factor: the solution of a
     // consistent system is unchanged.
     double factor = 0.0;
-    for (std::size_t c = 0; c < sys.a.cols(); ++c) {
-      if (original.a(i, c) != 0.0) {
-        factor = sys.a(i, c) / original.a(i, c);
+    for (std::size_t c = 0; c < sys.matrix().cols(); ++c) {
+      if (original.matrix()(i, c) != 0.0) {
+        factor = sys.matrix()(i, c) / original.matrix()(i, c);
         break;
       }
     }
     ASSERT_GT(factor, 0.0);
-    EXPECT_NEAR(sys.y[i], original.y[i] * factor, 1e-12);
+    EXPECT_NEAR(sys.rhs()[i], original.rhs()[i] * factor, 1e-12);
   }
 }
 
 TEST(VarianceWeights, WellSupportedEquationsWeighMore) {
   // prob 0.9 (well supported) vs prob 0.1 (thin): the 0.9 equation's
-  // variance (1-p)/(pN) is smaller, so its weight is larger.
+  // variance (1-p)/(pN) is smaller, so its weight is larger. The dense
+  // view materializes from the sparse equations on first access.
   EquationSystem sys;
   sys.link_count = 2;
   sys.equations.push_back(Equation{{0}, {0}, std::log(0.9)});
   sys.equations.push_back(Equation{{1}, {1}, std::log(0.1)});
-  sys.a = linalg::Matrix(2, 2);
-  sys.a(0, 0) = 1.0;
-  sys.a(1, 1) = 1.0;
-  sys.y = {std::log(0.9), std::log(0.1)};
   apply_variance_weights(sys, 1000);
-  EXPECT_GT(sys.a(0, 0), sys.a(1, 1));
+  EXPECT_GT(sys.matrix()(0, 0), sys.matrix()(1, 1));
+}
+
+TEST(VarianceWeights, StructuralZerosStayExactlyZero) {
+  // The weighting must scale only each equation's support columns; a
+  // historical bug multiplied every column of the dense row, which happens
+  // to preserve zeros (0 * w == 0) but walked |equations| x |links| cells.
+  // Pin the support-only contract: off-support entries are exact zeros and
+  // support entries carry exactly the row's weight.
+  EquationSystem sys = build_fig1a_system();
+  const EquationSystem original = sys;
+  apply_variance_weights(sys, 500);
+  for (std::size_t i = 0; i < sys.equations.size(); ++i) {
+    const double weight = sys.rhs()[i] / original.rhs()[i];
+    for (std::size_t c = 0; c < sys.matrix().cols(); ++c) {
+      const bool in_support =
+          std::find(sys.equations[i].links.begin(),
+                    sys.equations[i].links.end(),
+                    c) != sys.equations[i].links.end();
+      if (in_support) {
+        EXPECT_DOUBLE_EQ(sys.matrix()(i, c), weight)
+            << "equation " << i << " column " << c;
+      } else {
+        EXPECT_EQ(sys.matrix()(i, c), 0.0)
+            << "equation " << i << " column " << c;
+      }
+    }
+  }
 }
 
 TEST(VarianceWeights, ConsistentSolutionUnchanged) {
@@ -72,9 +97,9 @@ TEST(VarianceWeights, ConsistentSolutionUnchanged) {
   const graph::CoverageIndex cov(sys.graph, sys.paths);
   const sim::OracleMeasurement oracle(*model, cov);
   EquationSystem eq = build_equations(cov, sys.sets, oracle);
-  const auto unweighted = linalg::solve_log_system(eq.a, eq.y);
+  const auto unweighted = linalg::solve_log_system(eq.matrix(), eq.rhs());
   apply_variance_weights(eq, 5000);  // pretend 5000 snapshots
-  const auto weighted = linalg::solve_log_system(eq.a, eq.y);
+  const auto weighted = linalg::solve_log_system(eq.matrix(), eq.rhs());
   for (std::size_t k = 0; k < unweighted.x.size(); ++k) {
     EXPECT_NEAR(weighted.x[k], unweighted.x[k], 1e-6);
   }
