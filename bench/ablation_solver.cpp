@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       scenario.seed = ctx.seed(0xab10);
       const auto inst = core::build_scenario(scenario);
       core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
-      config.inference.solver = solver;
+      config.inference.solver.kind = solver;
       const Stopwatch stopwatch;
       const auto result = core::run_experiment(inst, config);
       const double seconds = stopwatch.seconds();

@@ -212,6 +212,14 @@ class Run {
     return *this;
   }
 
+  /// Records a free-form JSON annotation (e.g. per-trial solver detail
+  /// strings). Telemetry only — annotations never reach stdout, so tables
+  /// stay byte-comparable.
+  Run& annotation(const std::string& key, util::Json value) {
+    annotations_.set(key, std::move(value));
+    return *this;
+  }
+
   /// Writes BENCH_<name>.json (or the explicit --json path). Idempotent;
   /// called from the destructor as a safety net.
   void finish() {
@@ -222,7 +230,9 @@ class Run {
         settings_.json == "auto" ? "BENCH_" + name_ + ".json" : settings_.json;
     util::Json doc = util::Json::object();
     doc.set("name", name_)
-        .set("schema_version", 2)  // 2: added the scenario descriptor
+        // 2: added the scenario descriptor; 3: annotations object
+        // (per-trial solver detail) + *_solve_seconds metrics.
+        .set("schema_version", 3)
         .set("settings", util::Json::object()
                              .set("full", settings_.full)
                              .set("csv", settings_.csv)
@@ -239,6 +249,7 @@ class Run {
         .set("trial_seconds", util::Json::array_of(trial_seconds_))
         .set("total_seconds", total_.seconds())
         .set("metrics", std::move(metrics_))
+        .set("annotations", std::move(annotations_))
         .set("tables", std::move(tables_));
     std::ofstream out(path);
     TOMO_REQUIRE(out.good(), "cannot open JSON telemetry path: " + path);
@@ -274,6 +285,7 @@ class Run {
   std::vector<double> trial_seconds_;
   util::Json tables_ = util::Json::array();
   util::Json metrics_ = util::Json::object();
+  util::Json annotations_ = util::Json::object();
   bool finished_ = false;
 };
 

@@ -5,6 +5,7 @@
 
 #include "corr/identifiability.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace tomo::core {
 
@@ -80,16 +81,16 @@ InferenceResult infer_congestion(const graph::Graph& g,
                "no usable equations: the measurements never observed a "
                "usable good path");
 
-  linalg::LogSystemSolution solution;
-  if (options.weight_by_variance && measurement.sample_count() > 0) {
-    EquationSystem weighted = result.system;
-    apply_variance_weights(weighted, measurement.sample_count());
-    solution = linalg::solve_log_system(weighted.matrix(), weighted.rhs(),
-                                        options.solver);
-  } else {
-    solution = linalg::solve_log_system(result.system.matrix(),
-                                        result.system.rhs(), options.solver);
-  }
+  // Solve on the harvest's sparse view: the variance weights (when
+  // requested) are applied row-by-row inside the view, and the incremental
+  // NNLS path builds its Gram products straight from the per-equation
+  // support — the dense incidence matrix never materializes here.
+  const std::size_t weight_samples =
+      options.weight_by_variance ? measurement.sample_count() : 0;
+  const Stopwatch solve_timer;
+  const linalg::LogSystemSolution solution = linalg::solve_log_system(
+      sparse_view(result.system, weight_samples), options.solver);
+  result.solve_seconds = solve_timer.seconds();
   result.log_good = solution.x;
   result.solver_detail = solution.detail;
   result.congestion_prob.resize(solution.x.size());

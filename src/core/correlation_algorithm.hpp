@@ -12,7 +12,12 @@
 namespace tomo::core {
 
 struct InferenceOptions {
-  linalg::SolverKind solver = linalg::SolverKind::kNnls;
+  /// End-to-end solver configuration — kind, NNLS engine (incremental
+  /// Gram/Cholesky vs reference QR), Gram-build jobs, tolerances —
+  /// threaded down to linalg::solve_log_system. The solve runs on the
+  /// equation system's sparse view: the dense incidence matrix is never
+  /// materialized on this path.
+  linalg::SolverOptions solver;
   EquationBuildOptions equations;
   /// Apply the paper's §3.3 fallback: links flagged unidentifiable by the
   /// structural Assumption-4 check are treated as uncorrelated (moved to
@@ -38,6 +43,9 @@ struct InferenceResult {
   std::vector<double> log_good;         // x_k = log P(X_k = 0)
   EquationSystem system;                // the solved system (diagnostics)
   std::string solver_detail;
+  /// Wall seconds spent inside the solver (telemetry; never printed on
+  /// stdout — the *_solve_seconds JSON mirror of system.build_seconds).
+  double solve_seconds = 0.0;
   std::vector<graph::LinkId> refined_links;  // demoted to singletons
 };
 

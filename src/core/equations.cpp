@@ -351,15 +351,26 @@ void EquationSystem::ensure_dense() const {
 
 namespace tomo::core {
 
+namespace {
+
+/// Inverse standard deviation of a log-probability estimate over
+/// `samples` snapshots (delta method). p is in (0, 1]: unusable
+/// zero-probability equations never enter the system. The p == 1 case
+/// (zero variance) is guarded with one pseudo-count.
+double variance_weight(double log_prob, double samples) {
+  const double p = std::exp(log_prob);
+  const double variance =
+      std::max((1.0 - p) / (p * samples), 1.0 / (samples * samples));
+  return 1.0 / std::sqrt(variance);
+}
+
+}  // namespace
+
 void apply_variance_weights(EquationSystem& system, std::size_t samples) {
   if (samples == 0) return;
   const double n = static_cast<double>(samples);
   for (std::size_t i = 0; i < system.equations.size(); ++i) {
-    const double p = std::exp(system.equations[i].y);
-    // p is in (0, 1]: unusable zero-probability equations never enter the
-    // system. Guard the p == 1 case (zero variance) with one pseudo-count.
-    const double variance = std::max((1.0 - p) / (p * n), 1.0 / (n * n));
-    const double weight = 1.0 / std::sqrt(variance);
+    const double weight = variance_weight(system.equations[i].y, n);
     // Only the equation's support columns carry the row's 1-entries; the
     // structural zeros must stay untouched rather than being multiplied
     // across the whole dense row.
@@ -368,6 +379,29 @@ void apply_variance_weights(EquationSystem& system, std::size_t samples) {
     }
     system.rhs()[i] *= weight;
   }
+}
+
+linalg::SparseSystemView sparse_view(const EquationSystem& system,
+                                     std::size_t weight_samples) {
+  linalg::SparseSystemView view;
+  view.cols = system.link_count;
+  view.rows.reserve(system.equations.size());
+  const double n = static_cast<double>(weight_samples);
+  for (const Equation& eq : system.equations) {
+    linalg::SparseRow row;
+    row.support = eq.links.data();
+    row.support_size = eq.links.size();
+    if (weight_samples > 0) {
+      // Same doubles apply_variance_weights writes into the dense system:
+      // weight * 1.0 entries and a weight-scaled rhs.
+      row.value = variance_weight(eq.y, n);
+      row.y = row.value * eq.y;
+    } else {
+      row.y = eq.y;
+    }
+    view.rows.push_back(row);
+  }
+  return view;
 }
 
 }  // namespace tomo::core

@@ -29,6 +29,7 @@
 #include "corr/correlation.hpp"
 #include "graph/coverage.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/solvers.hpp"
 #include "sim/measurement.hpp"
 
 namespace tomo::core {
@@ -127,5 +128,13 @@ EquationSystem build_equations(const graph::CoverageIndex& coverage,
 /// in the (least-squares-family) solve. No-op when `samples` == 0 (oracle
 /// measurements are exact).
 void apply_variance_weights(EquationSystem& system, std::size_t samples);
+
+/// Solver-facing sparse view of the harvest: one row per equation,
+/// borrowing the equations' link storage (the view must not outlive
+/// `system`). With `weight_samples` > 0 each row carries the same
+/// inverse-stddev variance weight apply_variance_weights would install —
+/// but applied inside the view, so the dense matrix never materializes.
+linalg::SparseSystemView sparse_view(const EquationSystem& system,
+                                     std::size_t weight_samples = 0);
 
 }  // namespace tomo::core

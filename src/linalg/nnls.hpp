@@ -5,22 +5,73 @@
 // A x = y becomes A u = -y with u >= 0, and NNLS both honours the sign
 // constraint and yields sparse minimum-ish solutions, which is the effect
 // the paper's "minimize the L1 norm error" fallback is after.
+//
+// Two interchangeable engines share the active-set logic:
+//   kIncremental (default) — works on the normal equations of a
+//     once-per-solve Gram system (G = A^T A, c = A^T b): every inner
+//     iteration edits an UpdatableCholesky factor of the passive block
+//     G[P, P] in O(k^2) and triangular-solves, instead of re-running an
+//     m x k QR from scratch. Numerically dependent passive candidates are
+//     rejected at insert time (with a condition-triggered refactorize
+//     fallback), and columns dropped by a degenerate zero-length step are
+//     blocked from immediate re-entry until the iterate moves —
+//     the anti-cycling safeguard.
+//   kReference — the historical implementation (fresh rank-revealing QR on
+//     the passive submatrix per iteration); kept for differential testing
+//     (tests/test_nnls_fast.cpp) and as the bit-for-bit baseline.
 #pragma once
+
+#include <cstddef>
 
 #include "linalg/matrix.hpp"
 
 namespace tomo::linalg {
 
-struct NnlsResult {
-  Vector x;              // the non-negative solution
-  double residual_norm;  // ||A x - b||_2
-  std::size_t iterations;
-  bool converged;  // false if the iteration cap was hit
+enum class NnlsMode {
+  kIncremental,  // cached Gram + updatable Cholesky (default)
+  kReference,    // fresh dense QR per inner iteration
 };
 
+struct NnlsOptions {
+  NnlsMode mode = NnlsMode::kIncremental;
+  /// 0 means the 3 * cols + 10 default, which is ample in practice.
+  std::size_t max_iterations = 0;
+  /// Gradient/positivity tolerance of the active-set logic.
+  double tol = 1e-10;
+};
+
+struct NnlsResult {
+  Vector x;                    // the non-negative solution
+  double residual_norm = 0.0;  // ||A x - b||_2
+  std::size_t iterations = 0;
+  bool converged = false;  // false if the iteration cap was hit
+  /// Full refactorizations of the passive-set factor (incremental mode
+  /// only): > 0 means the condition-triggered fallback fired.
+  std::size_t refactorizations = 0;
+};
+
+/// Normal-equations view of a least-squares problem: everything NNLS needs
+/// once the rows of A are no longer required individually. Building it is
+/// the only O(rows) work in an incremental solve.
+struct GramSystem {
+  Matrix gram;  // A^T A, cols x cols, symmetric
+  Vector atb;   // A^T b
+  double btb = 0.0;  // b^T b, for residual recovery
+};
+
+/// Builds the Gram system of a dense problem (one pass over A).
+GramSystem make_gram(const Matrix& a, const Vector& b);
+
 /// Solves min ||A x - b||_2 subject to x >= 0.
-/// `max_iterations` defaults to 3 * cols, which is ample in practice.
+NnlsResult nnls(const Matrix& a, const Vector& b, const NnlsOptions& options);
+
+/// Backward-compatible overload: default (incremental) engine.
 NnlsResult nnls(const Matrix& a, const Vector& b,
                 std::size_t max_iterations = 0, double tol = 1e-10);
+
+/// Incremental engine entry point for callers that already hold the Gram
+/// system (the sparse solver front end builds it without ever
+/// materializing A). `options.mode` must be kIncremental.
+NnlsResult nnls_gram(const GramSystem& system, const NnlsOptions& options = {});
 
 }  // namespace tomo::linalg

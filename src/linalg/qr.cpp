@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
 namespace tomo::linalg {
+
+namespace {
+
+/// Downdated squared norms below this fraction of their reference value
+/// are cancellation noise and trigger an exact recomputation. 10 * eps on
+/// the squared norm keeps ~half the mantissa of the norm itself.
+constexpr double kNormDriftTol =
+    10.0 * std::numeric_limits<double>::epsilon();
+
+}  // namespace
 
 QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a) {
   const std::size_t m = qr_.rows();
@@ -16,12 +27,18 @@ QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a) {
   perm_.resize(n);
   for (std::size_t j = 0; j < n; ++j) perm_[j] = j;
 
-  // Column squared norms for pivot selection, downdated as we go.
+  // Column squared norms for pivot selection, downdated as we go. The
+  // reference norms track the value at the last exact computation: when
+  // the running downdate has cancelled away most of a column's mass, the
+  // difference of squares carries no accurate digits anymore and the norm
+  // is recomputed from the remaining rows (LAPACK xGEQPF's drift rule) —
+  // otherwise pivot selection runs on noise for ill-conditioned systems.
   Vector colnorm(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
     const double* row = qr_.row_data(r);
     for (std::size_t c = 0; c < n; ++c) colnorm[c] += row[c] * row[c];
   }
+  Vector colnorm_ref = colnorm;
 
   auto swap_columns = [&](std::size_t a_col, std::size_t b_col) {
     if (a_col == b_col) return;
@@ -29,6 +46,7 @@ QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a) {
       std::swap(qr_(r, a_col), qr_(r, b_col));
     }
     std::swap(colnorm[a_col], colnorm[b_col]);
+    std::swap(colnorm_ref[a_col], colnorm_ref[b_col]);
     std::swap(perm_[a_col], perm_[b_col]);
   };
 
@@ -77,10 +95,19 @@ QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a) {
       for (std::size_t r = k + 1; r < m; ++r) {
         qr_(r, j) -= s * qr_(r, k);
       }
-      // Downdate the column norm (re-computed exactly when it drifts).
+      // Downdate the column norm, re-computing exactly when it drifts:
+      // once the remaining mass is a tiny fraction of the reference norm,
+      // the subtraction has cancelled the trustworthy digits away.
       const double t = qr_(k, j);
       colnorm[j] -= t * t;
-      if (colnorm[j] < 0.0) colnorm[j] = 0.0;
+      if (colnorm[j] <= kNormDriftTol * colnorm_ref[j]) {
+        double exact = 0.0;
+        for (std::size_t r = k + 1; r < m; ++r) {
+          exact += qr_(r, j) * qr_(r, j);
+        }
+        colnorm[j] = exact;
+        colnorm_ref[j] = exact;
+      }
     }
     colnorm[k] = 0.0;
   }

@@ -5,10 +5,10 @@
 #include <sstream>
 
 #include "linalg/irls.hpp"
-#include "linalg/nnls.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/simplex.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tomo::linalg {
 
@@ -30,32 +30,114 @@ std::string to_string(SolverKind kind) {
   return "?";
 }
 
-LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
-                                   SolverKind kind) {
-  TOMO_REQUIRE(y.size() == a.rows(), "solve_log_system: rhs length mismatch");
+namespace {
+
+void require_finite(const Vector& y) {
   for (double v : y) {
     TOMO_REQUIRE(std::isfinite(v), "solve_log_system: non-finite rhs entry");
   }
+}
+
+/// Back-substitutes u = -x and clamps to the feasible domain
+/// (log-probabilities of "good" are <= 0).
+LogSystemSolution finish(Vector u, std::ostringstream& detail) {
+  LogSystemSolution out;
+  out.x.resize(u.size());
+  for (std::size_t j = 0; j < u.size(); ++j) {
+    out.x[j] = -std::max(0.0, u[j]);
+  }
+  out.detail = detail.str();
+  return out;
+}
+
+void describe_nnls(std::ostringstream& detail, const NnlsResult& r,
+                   NnlsMode mode) {
+  detail << "nnls[" << (mode == NnlsMode::kIncremental ? "inc" : "ref")
+         << "] iters=" << r.iterations;
+  if (mode == NnlsMode::kIncremental) {
+    detail << " refactor=" << r.refactorizations;
+  }
+  if (!r.converged) detail << " (iteration cap)";
+}
+
+}  // namespace
+
+GramSystem sparse_gram(const SparseSystemView& system, std::size_t jobs) {
+  const std::size_t n = system.cols;
+  GramSystem gs;
+  gs.gram = Matrix(n, n);
+  gs.atb.assign(n, 0.0);
+
+  // Column -> incident-row adjacency, so each Gram row can be accumulated
+  // independently (and hence in parallel) while every entry's sum still
+  // runs in ascending row order — the jobs-invariance contract.
+  std::vector<std::size_t> counts(n, 0);
+  for (const SparseRow& row : system.rows) {
+    for (std::size_t k = 0; k < row.support_size; ++k) {
+      ++counts[row.support[k]];
+    }
+  }
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i + 1] = offsets[i] + counts[i];
+  }
+  std::vector<std::uint32_t> incident(offsets[n]);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t r = 0; r < system.rows.size(); ++r) {
+    const SparseRow& row = system.rows[r];
+    for (std::size_t k = 0; k < row.support_size; ++k) {
+      incident[cursor[row.support[k]]++] = static_cast<std::uint32_t>(r);
+    }
+  }
+
+  util::parallel_for(jobs, n, [&](std::size_t i) {
+    double* gram_row = gs.gram.row_data(i);
+    double ci = 0.0;
+    for (std::size_t slot = offsets[i]; slot < offsets[i + 1]; ++slot) {
+      const SparseRow& row = system.rows[incident[slot]];
+      const double v2 = row.value * row.value;
+      for (std::size_t k = 0; k < row.support_size; ++k) {
+        gram_row[row.support[k]] += v2;
+      }
+      // b = -y: the solvers run on the negated non-negative system.
+      ci += row.value * -row.y;
+    }
+    gs.atb[i] = ci;
+  });
+
+  gs.btb = 0.0;
+  for (const SparseRow& row : system.rows) {
+    gs.btb += row.y * row.y;
+  }
+  return gs;
+}
+
+LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
+                                   const SolverOptions& options) {
+  TOMO_REQUIRE(y.size() == a.rows(), "solve_log_system: rhs length mismatch");
+  require_finite(y);
 
   // u = -x >= 0, b = -y >= 0.
   Vector b(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) b[i] = -y[i];
 
-  LogSystemSolution out;
   std::ostringstream detail;
   Vector u;
 
-  switch (kind) {
+  switch (options.kind) {
     case SolverKind::kLeastSquares: {
       u = least_squares(a, b);
       detail << "qr-ls";
       break;
     }
     case SolverKind::kNnls: {
-      NnlsResult r = nnls(a, b);
+      NnlsOptions nnls_options;
+      nnls_options.mode = options.nnls_mode;
+      nnls_options.max_iterations = options.max_iterations;
+      nnls_options.tol = options.tol;
+      NnlsResult r = nnls(a, b, nnls_options);
+      describe_nnls(detail, r, options.nnls_mode);
       u = std::move(r.x);
-      detail << "nnls iters=" << r.iterations
-             << (r.converged ? "" : " (iteration cap)");
       break;
     }
     case SolverKind::kL1Lp: {
@@ -74,15 +156,65 @@ LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
     }
   }
 
-  // Back-substitute and clamp to the feasible domain (log-probabilities of
-  // "good" are <= 0).
-  out.x.resize(u.size());
-  for (std::size_t j = 0; j < u.size(); ++j) {
-    out.x[j] = -std::max(0.0, u[j]);
-  }
+  LogSystemSolution out = finish(std::move(u), detail);
   out.residual_norm2 = norm2(residual(a, out.x, y));
-  out.detail = detail.str();
   return out;
+}
+
+LogSystemSolution solve_log_system(const SparseSystemView& system,
+                                   const SolverOptions& options) {
+  for (const SparseRow& row : system.rows) {
+    TOMO_REQUIRE(std::isfinite(row.y) && std::isfinite(row.value),
+                 "solve_log_system: non-finite rhs entry");
+  }
+
+  LogSystemSolution out;
+  if (options.kind == SolverKind::kNnls &&
+      options.nnls_mode == NnlsMode::kIncremental) {
+    // The headline path: Gram products straight from the sparse support;
+    // the dense incidence matrix never exists.
+    NnlsOptions nnls_options;
+    nnls_options.max_iterations = options.max_iterations;
+    nnls_options.tol = options.tol;
+    const GramSystem gs = sparse_gram(system, options.jobs);
+    NnlsResult r = nnls_gram(gs, nnls_options);
+    std::ostringstream detail;
+    describe_nnls(detail, r, NnlsMode::kIncremental);
+    out = finish(std::move(r.x), detail);
+  } else {
+    // The remaining kinds are row-oriented; materialize a dense copy.
+    Matrix a(system.rows.size(), system.cols);
+    Vector y(system.rows.size());
+    for (std::size_t r = 0; r < system.rows.size(); ++r) {
+      const SparseRow& row = system.rows[r];
+      double* dense = a.row_data(r);
+      for (std::size_t k = 0; k < row.support_size; ++k) {
+        dense[row.support[k]] = row.value;
+      }
+      y[r] = row.y;
+    }
+    return solve_log_system(a, y, options);
+  }
+
+  // ||A x - y|| from the sparse rows (x is the clamped solution).
+  double norm = 0.0;
+  for (const SparseRow& row : system.rows) {
+    double ax = 0.0;
+    for (std::size_t k = 0; k < row.support_size; ++k) {
+      ax += out.x[row.support[k]];
+    }
+    const double r = row.value * ax - row.y;
+    norm += r * r;
+  }
+  out.residual_norm2 = std::sqrt(norm);
+  return out;
+}
+
+LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
+                                   SolverKind kind) {
+  SolverOptions options;
+  options.kind = kind;
+  return solve_log_system(a, y, options);
 }
 
 }  // namespace tomo::linalg

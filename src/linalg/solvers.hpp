@@ -1,16 +1,29 @@
 // Unified front end for solving the tomography log-domain linear system.
 //
-// The system is  A x = y  where rows of A are 0/1 link-incidence vectors,
-// y_i = log P(paths of equation i all good) <= 0, and the unknowns
-// x_k = log P(link k good) are constrained to x <= 0.
+// The system is  A x = y  where rows of A are 0/1 link-incidence vectors
+// (possibly row-scaled by variance weights), y_i = log P(paths of equation
+// i all good) <= 0, and the unknowns x_k = log P(link k good) are
+// constrained to x <= 0.
 //
 // Internally we substitute u = -x >= 0 and b = -y >= 0 so every solver
 // works on a non-negative problem.
+//
+// Two entry points share the same solver set:
+//   - the dense overload, for callers that already hold a Matrix;
+//   - the sparse overload over a SparseSystemView, which never
+//     materializes the dense matrix at all for the (default) incremental
+//     NNLS engine — the Gram products G = A^T A and c = A^T b are
+//     accumulated straight from the per-row support, fanned across a
+//     worker pool column-by-column. Entry sums always run in row order, so
+//     the solution is bit-identical for any jobs value.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/nnls.hpp"
 
 namespace tomo::linalg {
 
@@ -25,6 +38,39 @@ enum class SolverKind {
 SolverKind solver_kind_from_string(const std::string& name);
 std::string to_string(SolverKind kind);
 
+/// Everything a caller can tune about the solve, threaded end to end from
+/// core::InferenceOptions down to the engine.
+struct SolverOptions {
+  SolverKind kind = SolverKind::kNnls;
+  /// NNLS engine: incremental Gram/Cholesky (default) or the historical
+  /// per-iteration dense QR, kept for differential testing.
+  NnlsMode nnls_mode = NnlsMode::kIncremental;
+  /// Iteration cap for the iterative engines (0 = their defaults).
+  std::size_t max_iterations = 0;
+  /// Active-set / convergence tolerance for NNLS.
+  double tol = 1e-10;
+  /// Worker threads for the sparse Gram build (1 = inline on the caller,
+  /// 0 = all hardware cores). The result is bit-identical for any value.
+  std::size_t jobs = 1;
+};
+
+/// One equation row viewed sparsely: `value` on every column in
+/// [support, support + support_size), zero elsewhere, with right-hand side
+/// y. The pointed-at index array must be sorted and outlive the view.
+struct SparseRow {
+  const std::size_t* support = nullptr;
+  std::size_t support_size = 0;
+  double value = 1.0;
+  double y = 0.0;
+};
+
+/// Borrowed sparse view of the equation system (the rows' index storage is
+/// owned by the caller, e.g. core::EquationSystem's per-equation links).
+struct SparseSystemView {
+  std::size_t cols = 0;
+  std::vector<SparseRow> rows;
+};
+
 struct LogSystemSolution {
   Vector x;               // log P(link good), entries <= 0
   double residual_norm2;  // ||A x - y||_2 over the given equations
@@ -35,6 +81,23 @@ struct LogSystemSolution {
 /// be finite and <= 0 (equations with unusable measurements should have
 /// been dropped by the caller).
 LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
+                                   const SolverOptions& options);
+
+/// Sparse entry point: for NNLS in incremental mode the Gram system is
+/// built directly from the row support (in parallel for jobs > 1) and the
+/// dense matrix never exists; the other solver kinds materialize a dense
+/// copy internally and delegate.
+LogSystemSolution solve_log_system(const SparseSystemView& system,
+                                   const SolverOptions& options = {});
+
+/// Backward-compatible dense overload (default options of the given kind).
+LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
                                    SolverKind kind = SolverKind::kNnls);
+
+/// Builds the Gram system (G = A^T A, c = A^T b, b^T b) of the *negated*
+/// system A u = -y straight from the sparse rows, fanning columns across
+/// up to `jobs` workers. Exposed for the solver micro-benchmarks and the
+/// differential suite; entry sums are row-ordered, hence jobs-invariant.
+GramSystem sparse_gram(const SparseSystemView& system, std::size_t jobs);
 
 }  // namespace tomo::linalg

@@ -29,7 +29,7 @@ TEST(CorrelationAlgorithm, ExactOnFigure1aWithOracle) {
        {linalg::SolverKind::kLeastSquares, linalg::SolverKind::kNnls,
         linalg::SolverKind::kL1Lp, linalg::SolverKind::kIrls}) {
     InferenceOptions opts;
-    opts.solver = solver;
+    opts.solver.kind = solver;
     const InferenceResult r = infer_congestion(
         sys.graph, sys.paths, cov, sys.sets, oracle, opts);
     for (graph::LinkId e = 0; e < 4; ++e) {

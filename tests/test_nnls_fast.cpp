@@ -1,0 +1,187 @@
+// Differential suite for the incremental NNLS solve path.
+//
+// The solver was rebuilt around a once-per-solve Gram system and an
+// updatable Cholesky factor (linalg::nnls, NnlsMode::kIncremental); the
+// historical per-iteration dense QR survives as NnlsMode::kReference.
+// These tests pin the two engines against each other on every registry
+// scenario's real equation system: the converged active sets must be
+// identical and the solutions must agree to tight relative tolerance —
+// and the sparse Gram pipeline (core sparse view -> parallel Gram build ->
+// nnls_gram) must be bit-identical for any jobs value, the contract the
+// CI byte-identity checks rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/equations.hpp"
+#include "core/scenario.hpp"
+#include "core/scenario_catalog.hpp"
+#include "graph/coverage.hpp"
+#include "linalg/solvers.hpp"
+#include "sim/measurement.hpp"
+#include "sim/simulator.hpp"
+
+namespace tomo::core {
+namespace {
+
+struct PreparedSystem {
+  ScenarioInstance inst;
+  EquationSystem correlation;   // declared correlation structure
+  EquationSystem independence;  // singleton baseline structure
+};
+
+PreparedSystem prepare(ScenarioConfig config, std::uint64_t sim_seed) {
+  PreparedSystem out{build_scenario(std::move(config)), {}, {}};
+  const graph::CoverageIndex coverage(out.inst.graph, out.inst.paths);
+  sim::SimulatorConfig sc;
+  sc.snapshots = 300;
+  sc.packets_per_path = 500;
+  sc.mode = sim::PacketMode::kBinomial;
+  sc.seed = sim_seed;
+  const sim::SimulationResult simr =
+      sim::simulate(out.inst.graph, out.inst.paths, *out.inst.truth, sc);
+  const sim::EmpiricalMeasurement meas(simr.observations);
+  out.correlation =
+      build_equations(coverage, out.inst.declared_sets, meas);
+  const corr::CorrelationSets singles =
+      corr::CorrelationSets::singletons(coverage.link_count());
+  out.independence = build_equations(coverage, singles, meas);
+  return out;
+}
+
+std::vector<std::size_t> active_set(const linalg::Vector& x) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] != 0.0) out.push_back(j);
+  }
+  return out;
+}
+
+/// Incremental (sparse Gram pipeline, jobs 1 and 3) vs reference (dense
+/// per-iteration QR) on one harvested system.
+void expect_engines_agree(const EquationSystem& sys,
+                          const std::string& what) {
+  ASSERT_FALSE(sys.equations.empty()) << what;
+
+  linalg::SolverOptions reference;
+  reference.nnls_mode = linalg::NnlsMode::kReference;
+  const linalg::LogSystemSolution ref =
+      linalg::solve_log_system(sys.matrix(), sys.rhs(), reference);
+
+  linalg::SolverOptions incremental;  // defaults: nnls, incremental
+  incremental.jobs = 1;
+  const linalg::LogSystemSolution inc =
+      linalg::solve_log_system(sparse_view(sys), incremental);
+  incremental.jobs = 3;
+  const linalg::LogSystemSolution inc_parallel =
+      linalg::solve_log_system(sparse_view(sys), incremental);
+
+  // The parallel Gram build reduces every entry in row order regardless of
+  // the worker count: bit-identical solutions, not merely close ones.
+  EXPECT_EQ(inc.x, inc_parallel.x) << what << ": jobs must not change bits";
+
+  // Same converged active set as the reference engine...
+  EXPECT_EQ(active_set(inc.x), active_set(ref.x)) << what;
+
+  // ...and the same solution to tight relative tolerance (the engines do
+  // different arithmetic: Cholesky on the normal equations vs QR).
+  double scale = 1.0;
+  for (double v : ref.x) scale = std::max(scale, std::abs(v));
+  for (std::size_t j = 0; j < ref.x.size(); ++j) {
+    EXPECT_NEAR(inc.x[j], ref.x[j], 1e-8 * scale)
+        << what << ": link " << j;
+  }
+  EXPECT_NEAR(inc.residual_norm2, ref.residual_norm2, 1e-6 * scale) << what;
+}
+
+class RegistrySolveDifferential
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySolveDifferential, IncrementalMatchesReference) {
+  ScenarioConfig config =
+      shrink_for_tests(ScenarioCatalog::instance().at(GetParam()).config);
+  config.seed = 0x50f7;
+  const PreparedSystem p = prepare(config, 0x50f700);
+  expect_engines_agree(p.correlation, GetParam() + " correlation");
+  expect_engines_agree(p.independence, GetParam() + " independence");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, RegistrySolveDifferential,
+    ::testing::ValuesIn(ScenarioCatalog::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(NnlsFast, WeightedSparseViewMatchesDenseWeighting) {
+  ScenarioConfig config = shrink_for_tests(
+      ScenarioCatalog::instance().at("waxman-bursty").config);
+  config.seed = 0x3e1;
+  PreparedSystem p = prepare(config, 0x3e100);
+  const std::size_t samples = 300;
+
+  // The sparse view's per-row weights must be the same doubles
+  // apply_variance_weights installs into the dense system.
+  EquationSystem weighted = p.correlation;
+  apply_variance_weights(weighted, samples);
+  const linalg::SparseSystemView view = sparse_view(p.correlation, samples);
+  ASSERT_EQ(view.rows.size(), weighted.equations.size());
+  for (std::size_t i = 0; i < view.rows.size(); ++i) {
+    const auto& links = weighted.equations[i].links;
+    ASSERT_EQ(view.rows[i].support_size, links.size());
+    for (std::size_t k = 0; k < links.size(); ++k) {
+      EXPECT_EQ(view.rows[i].value, weighted.matrix()(i, links[k]));
+    }
+    EXPECT_EQ(view.rows[i].y, weighted.rhs()[i]);
+  }
+
+  // And the engines agree on the weighted system too.
+  linalg::SolverOptions reference;
+  reference.nnls_mode = linalg::NnlsMode::kReference;
+  const linalg::LogSystemSolution ref =
+      linalg::solve_log_system(weighted.matrix(), weighted.rhs(), reference);
+  const linalg::LogSystemSolution inc = linalg::solve_log_system(view);
+  EXPECT_EQ(active_set(inc.x), active_set(ref.x));
+  double scale = 1.0;
+  for (double v : ref.x) scale = std::max(scale, std::abs(v));
+  for (std::size_t j = 0; j < ref.x.size(); ++j) {
+    EXPECT_NEAR(inc.x[j], ref.x[j], 1e-8 * scale) << "link " << j;
+  }
+}
+
+TEST(NnlsFast, SparseGramMatchesDenseGramBitwise) {
+  ScenarioConfig config = shrink_for_tests(
+      ScenarioCatalog::instance().at("ba-sparse-vps").config);
+  config.seed = 0x9a;
+  const PreparedSystem p = prepare(config, 0x9a00);
+  const EquationSystem& sys = p.correlation;
+
+  // Dense reference: Gram of the negated system (b = -y).
+  linalg::Vector b(sys.rhs().size());
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = -sys.rhs()[i];
+  const linalg::GramSystem dense = linalg::make_gram(sys.matrix(), b);
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
+    const linalg::GramSystem sparse =
+        linalg::sparse_gram(sparse_view(sys), jobs);
+    ASSERT_EQ(sparse.gram.rows(), dense.gram.rows());
+    for (std::size_t i = 0; i < dense.gram.rows(); ++i) {
+      for (std::size_t j = 0; j < dense.gram.cols(); ++j) {
+        ASSERT_EQ(sparse.gram(i, j), dense.gram(i, j))
+            << "jobs " << jobs << " cell " << i << "," << j;
+      }
+    }
+    EXPECT_EQ(sparse.atb, dense.atb) << "jobs " << jobs;
+    EXPECT_EQ(sparse.btb, dense.btb) << "jobs " << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace tomo::core

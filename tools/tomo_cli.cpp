@@ -226,7 +226,7 @@ int cmd_infer(int argc, const char* const* argv) {
   const graph::CoverageIndex coverage(system.graph, system.paths);
 
   core::InferenceOptions options;
-  options.solver = linalg::solver_kind_from_string(
+  options.solver.kind = linalg::solver_kind_from_string(
       flags.get_string("solver"));
   const core::InferenceResult result =
       flags.get_bool("independent")

@@ -60,6 +60,11 @@ struct ScenarioScore {
   /// Equation-harvest wall seconds (final correlation build + independence
   /// build); recorded in the JSON telemetry only — never on stdout.
   double harvest_seconds = 0.0;
+  /// Solver wall seconds (correlation + independence solves) and the
+  /// per-algorithm solver detail strings (engine, iterations, refactorize
+  /// count); JSON telemetry only.
+  double solve_seconds = 0.0;
+  std::string corr_detail, ind_detail;
 };
 
 /// One catalog entry, end to end: --trials experiments across --jobs
@@ -75,9 +80,11 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
     core::ExperimentConfig ec = bench::experiment_config(s, ctx.trial);
     if (s.trials == 1) {
       // A single trial leaves the trial-level pool idle; hand --jobs to the
-      // batched pair-candidate evaluation instead. The harvest's
-      // deterministic merge keeps stdout byte-identical for any value.
+      // batched pair-candidate evaluation and the solver's Gram build
+      // instead. Both fan out with deterministic (jobs-invariant) merges,
+      // so stdout stays byte-identical for any value.
       ec.inference.equations.jobs = s.jobs;
+      ec.inference.solver.jobs = s.jobs;
     }
     const auto result = core::run_experiment(inst, ec);
     ScenarioScore score;
@@ -90,6 +97,10 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
     score.ind_p90 = percentile(result.independence_errors(), 90.0);
     score.harvest_seconds = result.correlation.system.build_seconds +
                             result.independence.system.build_seconds;
+    score.solve_seconds =
+        result.correlation.solve_seconds + result.independence.solve_seconds;
+    score.corr_detail = result.correlation.solver_detail;
+    score.ind_detail = result.independence.solver_detail;
     return score;
   });
   ScenarioScore total;
@@ -100,16 +111,23 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
   total.paths = outcomes.front().value.paths;
   total.sets = outcomes.front().value.sets;
   const double trials = static_cast<double>(outcomes.size());
+  util::Json details = util::Json::array();
   for (const auto& outcome : outcomes) {
     total.corr_mean += outcome.value.corr_mean / trials;
     total.corr_p90 += outcome.value.corr_p90 / trials;
     total.ind_mean += outcome.value.ind_mean / trials;
     total.ind_p90 += outcome.value.ind_p90 / trials;
     total.harvest_seconds += outcome.value.harvest_seconds / trials;
+    total.solve_seconds += outcome.value.solve_seconds / trials;
+    details.push(util::Json::object()
+                     .set("correlation", outcome.value.corr_detail)
+                     .set("independence", outcome.value.ind_detail));
   }
   run.metric(entry.name + "_correlation_mean_err", total.corr_mean);
   run.metric(entry.name + "_independence_mean_err", total.ind_mean);
   run.metric(entry.name + "_harvest_seconds", total.harvest_seconds);
+  run.metric(entry.name + "_solve_seconds", total.solve_seconds);
+  run.annotation(entry.name + "_solver_detail", std::move(details));
   return total;
 }
 
