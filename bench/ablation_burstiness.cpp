@@ -27,13 +27,13 @@ int main(int argc, char** argv) {
                "independence_mean_err"});
   std::cout << "# Ablation — mean burst length of congestion episodes "
                "(same stationary marginals; 10% congested, PlanetLab)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0xb0, core::TopologyKind::kPlanetLab);
   for (const double burst : {1.0, 4.0, 16.0, 64.0}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kPlanetLab);
-      scenario.congested_fraction = 0.10;
-      scenario.seed = ctx.seed(0xb0);
-      const auto inst = core::build_scenario(scenario);
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = 0.10;
+      const auto inst = core::build_scenario(spec.scenario_for(ctx));
 
       // Rebuild the scenario's shock model as a Gilbert model with the
       // same marginals: bursty where the original was correlated.
@@ -44,14 +44,13 @@ int main(int argc, char** argv) {
       }
       const auto truth_ptr = corr::make_clustered_gilbert_model(
           inst.declared_sets, inst.congested_links, congested_marginals,
-          scenario.correlation_strength, burst);
+          spec.scenario.correlation_strength, burst);
       const corr::GilbertShockModel& truth = *truth_ptr;
 
-      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
+      const core::ExperimentConfig config = spec.experiment_for(ctx);
       const graph::CoverageIndex coverage(inst.graph, inst.paths);
-      const auto simr =
-          sim::simulate(inst.graph, inst.paths, truth, config.sim);
-      const sim::EmpiricalMeasurement meas(simr.observations);
+      auto simr = sim::simulate(inst.graph, inst.paths, truth, config.sim);
+      const sim::EmpiricalMeasurement meas(std::move(simr.measurement));
       const auto rc = core::infer_congestion(
           inst.graph, inst.paths, coverage, inst.declared_sets, meas);
       const auto ri = core::infer_congestion_independent(

@@ -20,16 +20,15 @@ int main(int argc, char** argv) {
                "correlation_mean_err", "correlation_p90_err"});
   std::cout << "# Ablation — single-path equations only vs + pair "
                "equations (10% congested, high correlation, Brite)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0xab20, core::TopologyKind::kBrite);
   for (const bool use_pairs : {false, true}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kBrite);
-      scenario.congested_fraction = 0.10;
-      scenario.seed = ctx.seed(0xab20);
-      const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
-      config.inference.equations.use_pairs = use_pairs;
-      const auto result = core::run_experiment(inst, config);
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = 0.10;
+      spec.inference.equations.use_pairs = use_pairs;
+      const auto trial = spec.run(ctx);
+      const auto& result = trial.result;
       return std::array<double, 5>{
           mean(result.correlation_errors()),
           percentile(result.correlation_errors(), 90.0),

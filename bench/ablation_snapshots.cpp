@@ -19,19 +19,17 @@ int main(int argc, char** argv) {
                "independence_mean_err"});
   std::cout << "# Ablation — snapshot count (10% congested, high "
                "correlation, Brite)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0xab30, core::TopologyKind::kBrite);
   for (const std::size_t snapshots : {125u, 250u, 500u, 1000u, 2000u,
                                       4000u}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kBrite);
-      scenario.congested_fraction = 0.10;
-      scenario.seed = ctx.seed(0xab30);
-      const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
-      config.sim.snapshots = snapshots;
-      const auto result = core::run_experiment(inst, config);
-      return std::pair(mean(result.correlation_errors()),
-                       mean(result.independence_errors()));
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = 0.10;
+      spec.sim.snapshots = snapshots;
+      const auto trial = spec.run(ctx);
+      return std::pair(mean(trial.result.correlation_errors()),
+                       mean(trial.result.independence_errors()));
     });
     double corr_sum = 0.0, ind_sum = 0.0;
     for (const auto& outcome : outcomes) {

@@ -23,20 +23,19 @@ int main(int argc, char** argv) {
   Table table({"solver", "correlation_mean_err", "correlation_p90_err"});
   std::cout << "# Ablation — solver choice (10% congested, high "
                "correlation, Brite)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0xab10, core::TopologyKind::kBrite);
   for (const auto solver :
        {linalg::SolverKind::kNnls, linalg::SolverKind::kLeastSquares,
         linalg::SolverKind::kL1Lp, linalg::SolverKind::kIrls}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kBrite);
-      scenario.congested_fraction = 0.10;
-      scenario.seed = ctx.seed(0xab10);
-      const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
-      config.inference.solver.kind = solver;
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = 0.10;
+      spec.inference.solver.kind = solver;
       const Stopwatch stopwatch;
-      const auto result = core::run_experiment(inst, config);
+      const auto trial = spec.run(ctx);
       const double seconds = stopwatch.seconds();
+      const auto& result = trial.result;
       return std::array<double, 3>{mean(result.correlation_errors()),
                                    percentile(result.correlation_errors(),
                                               90.0),

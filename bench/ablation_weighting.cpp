@@ -18,15 +18,15 @@ int main(int argc, char** argv) {
   Table table({"snapshots", "unweighted_mean_err", "weighted_mean_err"});
   std::cout << "# Ablation — variance weighting of equations "
                "(correlation algorithm; 10% congested, Brite)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0xab50, core::TopologyKind::kBrite);
   for (const std::size_t snapshots : {125u, 500u, 2000u}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kBrite);
-      scenario.congested_fraction = 0.10;
-      scenario.seed = ctx.seed(0xab50);
-      const auto inst = core::build_scenario(scenario);
-      core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
-      config.sim.snapshots = snapshots;
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = 0.10;
+      spec.sim.snapshots = snapshots;
+      const auto inst = core::build_scenario(spec.scenario_for(ctx));
+      core::ExperimentConfig config = spec.experiment_for(ctx);
       config.inference.weight_by_variance = false;
       const auto plain = core::run_experiment(inst, config);
       config.inference.weight_by_variance = true;

@@ -14,6 +14,7 @@
 #include "core/experiment.hpp"
 #include "core/run_trials.hpp"
 #include "core/scenario_catalog.hpp"
+#include "core/trial_spec.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
@@ -37,6 +38,11 @@ struct Settings {
   /// Named registry scenario (see `tomo_scenarios --list`); "" keeps the
   /// binary's built-in workload.
   std::string scenario;
+  /// Simulator packet mode (sim::parse_packet_mode names). "batched" is
+  /// the block-parallel engine; "batched-ref" its scalar differential
+  /// reference; "binomial"/"per-packet"/"exact" the legacy per-snapshot
+  /// engines.
+  std::string sim_mode = "batched";
 };
 
 /// Registers the flags every experiment binary shares. Defaults come from
@@ -64,6 +70,10 @@ inline void add_common_flags(Flags& flags) {
                    "registry scenario replacing the binary's built-in "
                    "topology/correlation setup (tomo_scenarios --list; the "
                    "binary's swept knob still applies)");
+  flags.add_string("sim-mode", defaults.sim_mode,
+                   "simulator packet mode: batched (block-parallel, "
+                   "default), batched-ref (scalar reference), binomial, "
+                   "per-packet, exact");
 }
 
 inline Settings settings_from_flags(const Flags& flags) {
@@ -80,6 +90,8 @@ inline Settings settings_from_flags(const Flags& flags) {
   if (!s.scenario.empty()) {
     core::ScenarioCatalog::instance().at(s.scenario);  // fail fast on typos
   }
+  s.sim_mode = flags.get_string("sim-mode");
+  sim::parse_packet_mode(s.sim_mode);  // fail fast on typos
   return s;
 }
 
@@ -135,14 +147,47 @@ inline core::ScenarioConfig resolve_scenario(
   return config;
 }
 
-inline core::ExperimentConfig experiment_config(const Settings& s,
-                                                std::uint64_t trial) {
-  core::ExperimentConfig config;
-  config.sim.snapshots = s.snapshots;
-  config.sim.packets_per_path = s.packets;
-  config.sim.mode = sim::PacketMode::kBinomial;
-  config.sim.seed = mix_seed(s.seed, 0x51000 + trial);
-  return config;
+/// Fills the non-scenario half of a TrialSpec from the shared settings.
+/// With a single trial the trial-level pool would sit idle, so --jobs is
+/// handed down to the batched simulator's block fan-out, the pair-candidate
+/// evaluation, and the solver's Gram build instead — all of which merge
+/// deterministically, so stdout stays byte-identical for any value.
+inline void apply_trial_settings(core::TrialSpec& spec, const Settings& s) {
+  spec.sim.snapshots = s.snapshots;
+  spec.sim.packets_per_path = s.packets;
+  spec.sim.mode = sim::parse_packet_mode(s.sim_mode);
+  if (s.trials == 1) {
+    spec.sim.jobs = s.jobs;
+    spec.inference.equations.jobs = s.jobs;
+    spec.inference.solver.jobs = s.jobs;
+  }
+}
+
+/// The resolved spec for a binary's workload: scenario from --scenario (or
+/// the binary's fallback topology/level), sim knobs from the shared flags.
+/// `scenario_tag` preserves each binary's historical seed stream. Callers
+/// still set their swept knobs (congested fraction, ...) on spec.scenario.
+inline core::TrialSpec resolve_trial_spec(
+    const Settings& s, std::uint64_t scenario_tag,
+    core::TopologyKind fallback_topology,
+    core::CorrelationLevel fallback_level = core::CorrelationLevel::kHigh) {
+  core::TrialSpec spec;
+  spec.scenario = resolve_scenario(s, fallback_topology, fallback_level);
+  spec.scenario_tag = scenario_tag;
+  apply_trial_settings(spec, s);
+  return spec;
+}
+
+/// Spec for a specific catalog entry (the registry front-end's path).
+inline core::TrialSpec resolve_trial_spec(const Settings& s,
+                                          const core::CatalogEntry& entry,
+                                          std::uint64_t scenario_tag) {
+  core::TrialSpec spec;
+  spec.scenario = entry.config;
+  if (s.full) scale_to_paper(spec.scenario);
+  spec.scenario_tag = scenario_tag;
+  apply_trial_settings(spec, s);
+  return spec;
 }
 
 inline void emit(const Table& table, const Settings& s) {
@@ -231,8 +276,9 @@ class Run {
     util::Json doc = util::Json::object();
     doc.set("name", name_)
         // 2: added the scenario descriptor; 3: annotations object
-        // (per-trial solver detail) + *_solve_seconds metrics.
-        .set("schema_version", 3)
+        // (per-trial solver detail) + *_solve_seconds metrics; 4: sim_mode
+        // setting + *_sim_seconds metrics.
+        .set("schema_version", 4)
         .set("settings", util::Json::object()
                              .set("full", settings_.full)
                              .set("csv", settings_.csv)
@@ -243,7 +289,8 @@ class Run {
                              .set("jobs_resolved",
                                   util::resolve_jobs(settings_.jobs))
                              .set("seed", settings_.seed)
-                             .set("scenario", settings_.scenario))
+                             .set("scenario", settings_.scenario)
+                             .set("sim_mode", settings_.sim_mode))
         .set("scenario", scenario_descriptor())
         .set("trials_run", trial_seconds_.size())
         .set("trial_seconds", util::Json::array_of(trial_seconds_))

@@ -182,12 +182,14 @@ int main(int argc, char** argv) {
     sim_config.packets_per_path = s.packets;
     sim_config.mode = sim::PacketMode::kBinomial;
     sim_config.seed = ctx.seed(0x1a00);
-    const auto simr =
-        sim::simulate(toy.graph, toy.paths, truth, sim_config);
+    auto simr = sim::simulate(toy.graph, toy.paths, truth, sim_config);
+    // The bootstrap resamples the snapshot axis, so keep a scalar copy of
+    // the observations alongside the packed measurement block.
+    const sim::PathObservations observations = simr.observations();
 
     McTrial trial;
     try {
-      const sim::EmpiricalMeasurement meas(simr.observations);
+      const sim::EmpiricalMeasurement meas(std::move(simr.measurement));
       trial.estimate =
           extract_alphas(core::run_theorem_algorithm(cov, toy.sets, meas));
       trial.valid = true;
@@ -205,7 +207,7 @@ int main(int argc, char** argv) {
     Rng boot_rng(ctx.seed(0x1b00));
     for (std::size_t b = 0; b < replicates; ++b) {
       const auto resampled =
-          core::resample_snapshots(simr.observations, boot_rng);
+          core::resample_snapshots(observations, boot_rng);
       try {
         const sim::EmpiricalMeasurement meas(resampled);
         const auto alphas =

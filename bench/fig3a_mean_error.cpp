@@ -20,17 +20,15 @@ int main(int argc, char** argv) {
                "independence_mean_err"});
   std::cout << "# Fig 3(a) — mean of the absolute error, congested links "
                "highly correlated (Brite)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0x3a00, core::TopologyKind::kBrite);
   for (const double pct : {5.0, 10.0, 15.0, 20.0, 25.0}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kBrite);
-      scenario.congested_fraction = pct / 100.0;
-      scenario.seed = ctx.seed(0x3a00);
-      const auto inst = core::build_scenario(scenario);
-      const auto result =
-          core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
-      return std::pair(mean(result.correlation_errors()),
-                       mean(result.independence_errors()));
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = pct / 100.0;
+      const auto trial = spec.run(ctx);
+      return std::pair(mean(trial.result.correlation_errors()),
+                       mean(trial.result.independence_errors()));
     });
     double corr_sum = 0.0, ind_sum = 0.0;
     for (const auto& outcome : outcomes) {

@@ -18,17 +18,15 @@ int main(int argc, char** argv) {
                "independence_p90_err"});
   std::cout << "# Fig 3(b) — 90th percentile of the absolute error, "
                "congested links highly correlated (Brite)\n";
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0x3b00, core::TopologyKind::kBrite);
   for (const double pct : {5.0, 10.0, 15.0, 20.0, 25.0}) {
     const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::ScenarioConfig scenario =
-          bench::resolve_scenario(s, core::TopologyKind::kBrite);
-      scenario.congested_fraction = pct / 100.0;
-      scenario.seed = ctx.seed(0x3b00);
-      const auto inst = core::build_scenario(scenario);
-      const auto result =
-          core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
-      return std::pair(percentile(result.correlation_errors(), 90.0),
-                       percentile(result.independence_errors(), 90.0));
+      core::TrialSpec spec = base;
+      spec.scenario.congested_fraction = pct / 100.0;
+      const auto trial = spec.run(ctx);
+      return std::pair(percentile(trial.result.correlation_errors(), 90.0),
+                       percentile(trial.result.independence_errors(), 90.0));
     });
     double corr_sum = 0.0, ind_sum = 0.0;
     for (const auto& outcome : outcomes) {

@@ -14,16 +14,13 @@ int main(int argc, char** argv) {
   const bench::Settings s = bench::settings_from_flags(flags);
   bench::Run run("fig3c_cdf_high_corr", s);
 
+  core::TrialSpec spec =
+      bench::resolve_trial_spec(s, 0x3c00, core::TopologyKind::kBrite);
+  spec.scenario.congested_fraction = 0.10;
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario =
-        bench::resolve_scenario(s, core::TopologyKind::kBrite);
-    scenario.congested_fraction = 0.10;
-    scenario.seed = ctx.seed(0x3c00);
-    const auto inst = core::build_scenario(scenario);
-    const auto result =
-        core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
-    return std::pair(result.correlation_errors(),
-                     result.independence_errors());
+    const auto trial = spec.run(ctx);
+    return std::pair(trial.result.correlation_errors(),
+                     trial.result.independence_errors());
   });
   std::vector<double> corr_errors, ind_errors;
   for (const auto& outcome : outcomes) {

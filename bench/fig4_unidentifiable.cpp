@@ -13,16 +13,13 @@ void run_panel(tomo::bench::Run& run, tomo::core::TopologyKind topo,
                std::uint64_t tag) {
   using namespace tomo;
   const bench::Settings& s = run.settings();
+  core::TrialSpec spec = bench::resolve_trial_spec(s, tag, topo);
+  spec.scenario.congested_fraction = 0.10;
+  spec.scenario.unidentifiable_fraction = unident_fraction;
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario = bench::resolve_scenario(s, topo);
-    scenario.congested_fraction = 0.10;
-    scenario.unidentifiable_fraction = unident_fraction;
-    scenario.seed = ctx.seed(tag);
-    const auto inst = core::build_scenario(scenario);
-    const auto result =
-        core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
-    return std::pair(result.correlation_errors(),
-                     result.independence_errors());
+    const auto trial = spec.run(ctx);
+    return std::pair(trial.result.correlation_errors(),
+                     trial.result.independence_errors());
   });
   std::vector<double> corr_errors, ind_errors;
   for (const auto& outcome : outcomes) {

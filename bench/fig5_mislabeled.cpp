@@ -14,19 +14,16 @@ void run_panel(tomo::bench::Run& run, tomo::core::TopologyKind topo,
                std::uint64_t tag) {
   using namespace tomo;
   const bench::Settings& s = run.settings();
+  core::TrialSpec spec = bench::resolve_trial_spec(s, tag, topo);
+  spec.scenario.congested_fraction = 0.10;
+  spec.scenario.mislabeled_fraction = mislabeled_fraction;
+  // The worm strength is part of a named scenario's correlation setup;
+  // only the panel's mislabeled fraction is this binary's swept knob.
+  if (s.scenario.empty()) spec.scenario.worm_rho = 0.4;
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario = bench::resolve_scenario(s, topo);
-    scenario.congested_fraction = 0.10;
-    scenario.mislabeled_fraction = mislabeled_fraction;
-    // The worm strength is part of a named scenario's correlation setup;
-    // only the panel's mislabeled fraction is this binary's swept knob.
-    if (s.scenario.empty()) scenario.worm_rho = 0.4;
-    scenario.seed = ctx.seed(tag);
-    const auto inst = core::build_scenario(scenario);
-    const auto result =
-        core::run_experiment(inst, bench::experiment_config(s, ctx.trial));
-    return std::pair(result.correlation_errors(),
-                     result.independence_errors());
+    const auto trial = spec.run(ctx);
+    return std::pair(trial.result.correlation_errors(),
+                     trial.result.independence_errors());
   });
   std::vector<double> corr_errors, ind_errors;
   for (const auto& outcome : outcomes) {

@@ -54,18 +54,17 @@ int main(int argc, char** argv) {
     t.fn += score.false_negatives;
   };
 
+  const core::TrialSpec base =
+      bench::resolve_trial_spec(s, 0x10c0, core::TopologyKind::kPlanetLab);
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig scenario =
-        bench::resolve_scenario(s, core::TopologyKind::kPlanetLab);
-    scenario.congested_fraction = 0.10;
-    scenario.seed = ctx.seed(0x10c0);
-    const auto inst = core::build_scenario(scenario);
+    core::TrialSpec spec = base;
+    spec.scenario.congested_fraction = 0.10;
+    const auto inst = core::build_scenario(spec.scenario_for(ctx));
     const graph::CoverageIndex coverage(inst.graph, inst.paths);
 
     // Estimate probabilities from a training run, then localize snapshots
     // of an independent evaluation run.
-    core::ExperimentConfig config = bench::experiment_config(s, ctx.trial);
-    const auto training = core::run_experiment(inst, config);
+    const auto training = core::run_experiment(inst, spec.experiment_for(ctx));
 
     TrialTallies tallies;
     Rng rng(ctx.seed(0x20c0));

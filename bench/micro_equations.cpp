@@ -54,7 +54,7 @@ Prepared& prepared() {
 
 void BM_BuildEquations(benchmark::State& state) {
   Prepared& p = prepared();
-  const sim::EmpiricalMeasurement meas(p.sim_result.observations);
+  const sim::EmpiricalMeasurement meas(p.sim_result.measurement);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         core::build_equations(p.coverage, p.inst.declared_sets, meas));
@@ -64,7 +64,7 @@ BENCHMARK(BM_BuildEquations);
 
 void BM_FullInference(benchmark::State& state) {
   Prepared& p = prepared();
-  const sim::EmpiricalMeasurement meas(p.sim_result.observations);
+  const sim::EmpiricalMeasurement meas(p.sim_result.measurement);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::infer_congestion(
         p.inst.graph, p.inst.paths, p.coverage, p.inst.declared_sets, meas));
@@ -84,7 +84,7 @@ Prepared& prepared_dense_vps() {
 
 void BM_HarvestDenseVps(benchmark::State& state) {
   Prepared& p = prepared_dense_vps();
-  const sim::EmpiricalMeasurement meas(p.sim_result.observations);
+  const sim::EmpiricalMeasurement meas(p.sim_result.measurement);
   const auto singles =
       corr::CorrelationSets::singletons(p.coverage.link_count());
   for (auto _ : state) {
@@ -98,7 +98,7 @@ BENCHMARK(BM_HarvestDenseVps)->Unit(benchmark::kMillisecond);
 
 void BM_HarvestDenseVpsReference(benchmark::State& state) {
   Prepared& p = prepared_dense_vps();
-  const sim::EmpiricalMeasurement scalar(p.sim_result.observations,
+  const sim::EmpiricalMeasurement scalar(p.sim_result.observations(),
                                          /*use_bitset_cache=*/false);
   const auto singles =
       corr::CorrelationSets::singletons(p.coverage.link_count());

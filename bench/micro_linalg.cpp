@@ -110,8 +110,8 @@ const RegistrySystem& registry_system(std::int64_t scale) {
   sc.packets_per_path = scale < 2 ? 600 : 4000;
   sc.mode = sim::PacketMode::kBinomial;
   sc.seed = 0xbe7c00;
-  const auto simr = sim::simulate(inst.graph, inst.paths, *inst.truth, sc);
-  const sim::EmpiricalMeasurement meas(simr.observations);
+  auto simr = sim::simulate(inst.graph, inst.paths, *inst.truth, sc);
+  const sim::EmpiricalMeasurement meas(std::move(simr.measurement));
   RegistrySystem prepared;
   prepared.system =
       core::build_equations(coverage, inst.declared_sets, meas);

@@ -53,7 +53,10 @@ int main() {
   config.packets_per_path = 1000;
   config.seed = 4;
   const auto simulated = sim::simulate(g, paths, truth, config);
-  const sim::EmpiricalMeasurement measurement(simulated.observations);
+  // The bootstrap below resamples raw snapshots, so materialize the
+  // per-snapshot observations once and share them.
+  const sim::PathObservations observations = simulated.observations();
+  const sim::EmpiricalMeasurement measurement(observations);
 
   // --- Remedy 2: merge indistinguishable links -------------------------
   const core::MergedInferenceResult merged =
@@ -84,7 +87,7 @@ int main() {
   boot.replicates = 50;
   const core::BootstrapResult intervals = core::bootstrap_congestion(
       merged.transform.graph, merged.transform.paths, merged_cov,
-      merged_sets, simulated.observations, boot);
+      merged_sets, observations, boot);
   std::printf("\n90%% bootstrap intervals (merged links):\n");
   for (graph::LinkId m = 0; m < intervals.point.size(); ++m) {
     std::printf("  merged link %zu: %.3f  [%.3f, %.3f]\n", m,

@@ -71,9 +71,9 @@ asn sw-c 10
   config.snapshots = 10000;
   config.packets_per_path = 500;
   config.seed = 11;
-  const auto simulated =
+  auto simulated =
       sim::simulate(system.graph, system.paths, *truth, config);
-  const sim::EmpiricalMeasurement measurement(simulated.observations);
+  const sim::EmpiricalMeasurement measurement(std::move(simulated.measurement));
   const graph::CoverageIndex coverage(system.graph, system.paths);
 
   const auto result = core::infer_congestion(system.graph, system.paths,

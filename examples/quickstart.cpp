@@ -49,8 +49,8 @@ int main() {
   config.snapshots = 20000;
   config.packets_per_path = 800;
   config.seed = 7;
-  const auto simulated = sim::simulate(g, paths, truth, config);
-  const sim::EmpiricalMeasurement measurement(simulated.observations);
+  auto simulated = sim::simulate(g, paths, truth, config);
+  const sim::EmpiricalMeasurement measurement(std::move(simulated.measurement));
   const graph::CoverageIndex coverage(g, paths);
 
   // --- Infer -------------------------------------------------------------

@@ -47,9 +47,9 @@ int main() {
   config.snapshots = 4000;
   config.packets_per_path = 600;
   config.seed = 3;
-  const auto simulated =
+  auto simulated =
       sim::simulate(topo.graph, topo.paths, truth, config);
-  const sim::EmpiricalMeasurement measurement(simulated.observations);
+  const sim::EmpiricalMeasurement measurement(std::move(simulated.measurement));
   const graph::CoverageIndex coverage(topo.graph, topo.paths);
 
   const auto correlation = core::infer_congestion(

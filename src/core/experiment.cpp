@@ -6,6 +6,7 @@
 #include "core/independence_algorithm.hpp"
 #include "sim/measurement.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace tomo::core {
 
@@ -24,19 +25,22 @@ ExperimentResult run_experiment(const ScenarioInstance& scenario,
   TOMO_REQUIRE(scenario.truth != nullptr, "scenario has no truth model");
 
   const graph::CoverageIndex coverage(scenario.graph, scenario.paths);
-  const sim::SimulationResult sim_result =
-      sim::simulate(scenario.graph, scenario.paths, *scenario.truth,
-                    config.sim);
-  const sim::EmpiricalMeasurement measurement(sim_result.observations);
+  const Stopwatch sim_timer;
+  sim::SimulationResult sim_result = sim::simulate(
+      scenario.graph, scenario.paths, *scenario.truth, config.sim);
+  // The simulator's good-bit block is adopted as-is — no re-packing.
+  const sim::EmpiricalMeasurement measurement(
+      std::move(sim_result.measurement));
+  const double sim_seconds = sim_timer.seconds();
 
   ExperimentResult result;
   result.truth = scenario.true_marginals;
+  result.sim_seconds = sim_seconds;
 
   // Potentially congested links: on >= 1 path that was ever congested.
   std::unordered_set<std::size_t> flagged;
   for (graph::PathId p = 0; p < scenario.paths.size(); ++p) {
-    if (sim_result.observations.good_count(p) <
-        sim_result.observations.snapshot_count()) {
+    if (measurement.good_count(p) < measurement.sample_count()) {
       for (graph::LinkId e : scenario.paths[p].links()) {
         flagged.insert(e);
       }

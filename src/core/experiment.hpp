@@ -23,6 +23,10 @@ struct ExperimentResult {
   std::vector<std::size_t> potentially_congested;
   InferenceResult correlation;    // the paper's algorithm
   InferenceResult independence;   // the [12] baseline
+  /// Wall seconds of the snapshot simulation plus the measurement adoption
+  /// (telemetry only — never printed to stdout, mirrored into the bench
+  /// JSON as *_sim_seconds).
+  double sim_seconds = 0.0;
 
   std::vector<double> correlation_errors() const;
   std::vector<double> independence_errors() const;

@@ -1,0 +1,25 @@
+#include "core/trial_spec.hpp"
+
+namespace tomo::core {
+
+ScenarioConfig TrialSpec::scenario_for(const TrialContext& ctx) const {
+  ScenarioConfig config = scenario;
+  config.seed = ctx.seed(scenario_tag);
+  return config;
+}
+
+ExperimentConfig TrialSpec::experiment_for(const TrialContext& ctx) const {
+  ExperimentConfig config;
+  config.sim = sim;
+  config.sim.seed = ctx.seed(sim_tag);
+  config.inference = inference;
+  return config;
+}
+
+TrialSpec::TrialRun TrialSpec::run(const TrialContext& ctx) const {
+  TrialRun out{build_scenario(scenario_for(ctx)), {}};
+  out.result = run_experiment(out.instance, experiment_for(ctx));
+  return out;
+}
+
+}  // namespace tomo::core

@@ -1,0 +1,51 @@
+// The resolved per-trial experiment specification.
+//
+// Historically every figure binary re-assembled the same three config
+// fragments by hand — a ScenarioConfig (topology + correlation), a
+// SimulatorConfig (snapshots/packets/tl), and InferenceOptions — each with
+// its own copy of the seed plumbing. TrialSpec collapses them into one
+// struct resolved once per run: the scenario is the single source of truth,
+// and per-trial seeds are derived through the TrialContext tag convention
+// (seed(tag) = mix_seed(base_seed, tag + trial)), so trials stay
+// bit-reproducible and jobs-invariant under run_trials.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.hpp"
+#include "core/run_trials.hpp"
+#include "core/scenario.hpp"
+
+namespace tomo::core {
+
+struct TrialSpec {
+  /// Base scenario (seed field ignored; overwritten per trial).
+  ScenarioConfig scenario;
+  /// Simulator knobs (seed field ignored; overwritten per trial).
+  sim::SimulatorConfig sim;
+  InferenceOptions inference;
+
+  /// Seed-derivation tags. The defaults match the benches' long-standing
+  /// convention; binaries with historical tags (fig3a's 0x3a00, the
+  /// registry's per-entry tags) override scenario_tag to keep their trial
+  /// streams byte-identical to earlier releases.
+  std::uint64_t scenario_tag = 0x5ce0;
+  std::uint64_t sim_tag = 0x51000;
+
+  /// The scenario of one trial: base config with the trial's topology seed.
+  ScenarioConfig scenario_for(const TrialContext& ctx) const;
+
+  /// The experiment config of one trial: sim knobs with the trial's
+  /// simulator seed, plus the shared inference options.
+  ExperimentConfig experiment_for(const TrialContext& ctx) const;
+
+  struct TrialRun {
+    ScenarioInstance instance;
+    ExperimentResult result;
+  };
+
+  /// One full trial: build the scenario, run the experiment.
+  TrialRun run(const TrialContext& ctx) const;
+};
+
+}  // namespace tomo::core

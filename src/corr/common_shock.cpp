@@ -48,6 +48,25 @@ std::vector<std::uint8_t> CommonShockModel::sample(Rng& rng) const {
   return state;
 }
 
+void CommonShockModel::sample_block(Rng& rng, std::size_t count,
+                                    std::uint8_t* out) const {
+  // Same draw order as sample(), writing into the caller's buffer.
+  const std::size_t links = sets_.link_count();
+  for (std::size_t n = 0; n < count; ++n) {
+    std::uint8_t* state = out + n * links;
+    for (std::size_t k = 0; k < links; ++k) {
+      state[k] = rng.bernoulli(base_[k]) ? 1 : 0;
+    }
+    for (const Shock& shock : shocks_) {
+      if (shock.rho > 0.0 && rng.bernoulli(shock.rho)) {
+        for (LinkId link : shock.members) {
+          state[link] = 1;
+        }
+      }
+    }
+  }
+}
+
 double CommonShockModel::within_set_all_good(
     std::size_t set_index, const std::vector<LinkId>& links_in_set) const {
   const Shock& shock = shocks_[set_index];

@@ -121,6 +121,15 @@ double CongestionModel::prob_all_good(
   return prob;
 }
 
+void CongestionModel::sample_block(Rng& rng, std::size_t count,
+                                   std::uint8_t* out) const {
+  const std::size_t links = link_count();
+  for (std::size_t n = 0; n < count; ++n) {
+    const std::vector<std::uint8_t> state = sample(rng);
+    std::copy(state.begin(), state.end(), out + n * links);
+  }
+}
+
 double CongestionModel::marginal(LinkId link) const {
   return 1.0 - prob_all_good({link});
 }
@@ -181,6 +190,17 @@ std::vector<std::uint8_t> IndependentModel::sample(Rng& rng) const {
     state[k] = rng.bernoulli(p_[k]) ? 1 : 0;
   }
   return state;
+}
+
+void IndependentModel::sample_block(Rng& rng, std::size_t count,
+                                    std::uint8_t* out) const {
+  const std::size_t links = p_.size();
+  for (std::size_t n = 0; n < count; ++n) {
+    std::uint8_t* state = out + n * links;
+    for (std::size_t k = 0; k < links; ++k) {
+      state[k] = rng.bernoulli(p_[k]) ? 1 : 0;
+    }
+  }
 }
 
 double IndependentModel::within_set_all_good(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -81,6 +82,18 @@ class CongestionModel {
   /// Samples the congestion indicator of every link for one snapshot.
   virtual std::vector<std::uint8_t> sample(Rng& rng) const = 0;
 
+  /// Samples `count` consecutive snapshots into `out`, snapshot-major
+  /// (snapshot n occupies out[n*link_count() .. (n+1)*link_count())). The
+  /// batched simulator's unit of work: calls must be self-contained — no
+  /// mutable member state read or advanced — so concurrent calls with
+  /// distinct `rng`/`out` are safe. Models with cross-snapshot state
+  /// (Gilbert chains) restart it from the stationary distribution at every
+  /// block boundary: the per-snapshot marginal law is unchanged, temporal
+  /// correlation truncates at block edges. The default loops sample();
+  /// stateful models MUST override (the default would advance their state).
+  virtual void sample_block(Rng& rng, std::size_t count,
+                            std::uint8_t* out) const;
+
   /// Exact P(all links in `links` good). Links may span correlation sets.
   /// The default factorizes across correlation sets via
   /// within_set_all_good(); models with cross-set dependence override it.
@@ -117,6 +130,8 @@ class IndependentModel final : public CongestionModel {
 
   const CorrelationSets& sets() const override { return sets_; }
   std::vector<std::uint8_t> sample(Rng& rng) const override;
+  void sample_block(Rng& rng, std::size_t count,
+                    std::uint8_t* out) const override;
   double within_set_all_good(
       std::size_t set_index,
       const std::vector<LinkId>& links_in_set) const override;

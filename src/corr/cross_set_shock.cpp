@@ -38,6 +38,21 @@ std::vector<std::uint8_t> CrossSetShockModel::sample(Rng& rng) const {
   return state;
 }
 
+void CrossSetShockModel::sample_block(Rng& rng, std::size_t count,
+                                      std::uint8_t* out) const {
+  inner_->sample_block(rng, count, out);
+  if (rho_ <= 0.0) return;
+  const std::size_t links = inner_->link_count();
+  for (std::size_t n = 0; n < count; ++n) {
+    if (rng.bernoulli(rho_)) {
+      std::uint8_t* state = out + n * links;
+      for (LinkId link : targets_) {
+        state[link] = 1;
+      }
+    }
+  }
+}
+
 double CrossSetShockModel::prob_all_good(
     const std::vector<LinkId>& links) const {
   double prob = inner_->prob_all_good(links);

@@ -29,6 +29,12 @@ class CrossSetShockModel final : public CongestionModel {
   const CorrelationSets& sets() const override { return inner_->sets(); }
   std::vector<std::uint8_t> sample(Rng& rng) const override;
 
+  /// Delegates to the inner model's block sampler, then ORs the worm shock
+  /// into each snapshot (inner block first, then one bernoulli per
+  /// snapshot — a fixed order that keeps the block jobs-invariant).
+  void sample_block(Rng& rng, std::size_t count,
+                    std::uint8_t* out) const override;
+
   /// True joint: P(all L good) = inner(L) * (1 - rho·[L ∩ T ≠ ∅]).
   double prob_all_good(const std::vector<LinkId>& links) const override;
 

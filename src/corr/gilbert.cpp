@@ -81,6 +81,36 @@ std::vector<std::uint8_t> GilbertShockModel::sample(Rng& rng) const {
   return state;
 }
 
+void GilbertShockModel::sample_block(Rng& rng, std::size_t count,
+                                     std::uint8_t* out) const {
+  const std::size_t links = sets_.link_count();
+  // Chain state lives on this call's stack, never in chain_: the block is
+  // its own timeline starting from the stationary distribution.
+  std::vector<std::uint8_t> chain(shocks_.size(), 2);
+  for (std::size_t n = 0; n < count; ++n) {
+    std::uint8_t* state = out + n * links;
+    for (std::size_t k = 0; k < links; ++k) {
+      state[k] = rng.bernoulli(base_[k]) ? 1 : 0;
+    }
+    for (std::size_t s = 0; s < shocks_.size(); ++s) {
+      const BurstyShock& shock = shocks_[s];
+      if (shock.rho <= 0.0 || shock.members.empty()) continue;
+      if (chain[s] == 2) {
+        chain[s] = rng.bernoulli(shock.rho) ? 1 : 0;
+      } else if (chain[s] == 1) {
+        chain[s] = rng.bernoulli(stay_on_prob(s)) ? 1 : 0;
+      } else {
+        chain[s] = rng.bernoulli(off_to_on_prob(s)) ? 1 : 0;
+      }
+      if (chain[s] == 1) {
+        for (LinkId link : shock.members) {
+          state[link] = 1;
+        }
+      }
+    }
+  }
+}
+
 double GilbertShockModel::within_set_all_good(
     std::size_t set_index, const std::vector<LinkId>& links_in_set) const {
   // Per-snapshot marginal law = stationary chain + independent privates:

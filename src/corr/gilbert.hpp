@@ -47,6 +47,14 @@ class GilbertShockModel final : public CongestionModel {
   /// Advances every set's chain by one snapshot and samples link states.
   std::vector<std::uint8_t> sample(Rng& rng) const override;
 
+  /// Block sampling with chains local to the call: every block starts its
+  /// chains from the stationary distribution, so the per-snapshot marginal
+  /// law is unchanged while bursts truncate at block edges. Unlike
+  /// sample(), this neither reads nor advances the instance chain state —
+  /// concurrent calls with distinct rng/out are safe.
+  void sample_block(Rng& rng, std::size_t count,
+                    std::uint8_t* out) const override;
+
   double within_set_all_good(
       std::size_t set_index,
       const std::vector<LinkId>& links_in_set) const override;

@@ -6,74 +6,109 @@
 
 namespace tomo::sim {
 
+EmpiricalMeasurement::EmpiricalMeasurement(MeasurementBlock block)
+    : block_(std::move(block)) {
+  TOMO_REQUIRE(!block_.empty(), "empirical measurement needs observations");
+  TOMO_REQUIRE(block_.good_counts.size() == block_.path_count,
+               "measurement block is missing its popcounts");
+}
+
+EmpiricalMeasurement::EmpiricalMeasurement(const PathObservations& obs)
+    : block_(MeasurementBlock::from_observations(obs)) {}
+
 EmpiricalMeasurement::EmpiricalMeasurement(const PathObservations& obs,
-                                           bool use_bitset_cache)
-    : obs_(obs) {
-  if (!use_bitset_cache) return;
-  const std::size_t words = obs_.words_per_path();
-  const std::size_t tail = obs_.snapshot_count() % 64;
-  const std::uint64_t tail_mask =
-      tail == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << tail) - 1;
-  good_bits_.resize(obs_.path_count() * words);
-  good_counts_.resize(obs_.path_count());
-  for (PathId p = 0; p < obs_.path_count(); ++p) {
-    const std::uint64_t* congested = obs_.congested_words(p);
-    std::uint64_t* good = good_bits_.data() + p * words;
-    std::size_t count = 0;
-    for (std::size_t w = 0; w < words; ++w) {
-      good[w] = ~congested[w];
-      if (w == words - 1) good[w] &= tail_mask;
-      count += static_cast<std::size_t>(std::popcount(good[w]));
-    }
-    good_counts_[p] = count;
+                                           bool use_bitset_cache) {
+  if (use_bitset_cache) {
+    block_ = MeasurementBlock::from_observations(obs);
+  } else {
+    scalar_obs_ = std::make_unique<PathObservations>(obs);
   }
+}
+
+std::size_t EmpiricalMeasurement::path_count() const {
+  return scalar_obs_ ? scalar_obs_->path_count() : block_.path_count;
+}
+
+std::size_t EmpiricalMeasurement::sample_count() const {
+  return scalar_obs_ ? scalar_obs_->snapshot_count() : block_.snapshot_count;
+}
+
+std::size_t EmpiricalMeasurement::good_count(PathId p) const {
+  TOMO_REQUIRE(p < path_count(), "path id out of range");
+  return scalar_obs_ ? scalar_obs_->good_count(p) : block_.good_counts[p];
 }
 
 double EmpiricalMeasurement::all_good_prob(
-    const std::vector<PathId>& paths) const {
+    std::span<const PathId> paths) const {
   if (paths.empty()) return 1.0;
-  std::size_t count;
-  if (paths.size() == 1) {
-    return good_prob(paths[0]);
-  } else if (paths.size() == 2) {
-    return pair_good_prob(paths[0], paths[1]);
-  } else {
-    count = obs_.all_good_count(paths);
+  if (paths.size() == 1) return good_prob(paths[0]);
+  if (paths.size() == 2) return pair_good_prob(paths[0], paths[1]);
+  if (scalar_obs_) {
+    const std::vector<PathId> ids(paths.begin(), paths.end());
+    return static_cast<double>(scalar_obs_->all_good_count(ids)) /
+           static_cast<double>(scalar_obs_->snapshot_count());
   }
-  return static_cast<double>(count) /
-         static_cast<double>(obs_.snapshot_count());
+  const std::size_t words = block_.words_per_path();
+  std::size_t all = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t acc = block_.good_row(paths[0])[w];
+    for (std::size_t i = 1; i < paths.size(); ++i) {
+      TOMO_REQUIRE(paths[i] < block_.path_count, "path id out of range");
+      acc &= block_.good_row(paths[i])[w];
+    }
+    all += static_cast<std::size_t>(std::popcount(acc));
+  }
+  return static_cast<double>(all) /
+         static_cast<double>(block_.snapshot_count);
 }
 
 double EmpiricalMeasurement::good_prob(PathId p) const {
-  TOMO_REQUIRE(p < obs_.path_count(), "path id out of range");
-  const std::size_t count =
-      uses_bitset_cache() ? good_counts_[p] : obs_.good_count(p);
-  return static_cast<double>(count) /
-         static_cast<double>(obs_.snapshot_count());
+  return static_cast<double>(good_count(p)) /
+         static_cast<double>(sample_count());
 }
 
 double EmpiricalMeasurement::pair_good_prob(PathId a, PathId b) const {
-  TOMO_REQUIRE(a < obs_.path_count() && b < obs_.path_count(),
-               "path id out of range");
-  if (!uses_bitset_cache()) {
-    return static_cast<double>(obs_.both_good_count(a, b)) /
-           static_cast<double>(obs_.snapshot_count());
+  TOMO_REQUIRE(a < path_count() && b < path_count(), "path id out of range");
+  if (scalar_obs_) {
+    return static_cast<double>(scalar_obs_->both_good_count(a, b)) /
+           static_cast<double>(scalar_obs_->snapshot_count());
   }
-  const std::uint64_t* ra = good_row(a);
-  const std::uint64_t* rb = good_row(b);
-  const std::size_t words = obs_.words_per_path();
+  const std::uint64_t* ra = block_.good_row(a);
+  const std::uint64_t* rb = block_.good_row(b);
+  const std::size_t words = block_.words_per_path();
   std::size_t both = 0;
   for (std::size_t w = 0; w < words; ++w) {
     both += static_cast<std::size_t>(std::popcount(ra[w] & rb[w]));
   }
   return static_cast<double>(both) /
-         static_cast<double>(obs_.snapshot_count());
+         static_cast<double>(block_.snapshot_count);
 }
 
 double EmpiricalMeasurement::exact_pattern_prob(
     const PathIdSet& pattern) const {
-  return static_cast<double>(obs_.exact_pattern_count(pattern)) /
-         static_cast<double>(obs_.snapshot_count());
+  if (scalar_obs_) {
+    return static_cast<double>(scalar_obs_->exact_pattern_count(pattern)) /
+           static_cast<double>(scalar_obs_->snapshot_count());
+  }
+  // A snapshot matches iff every pattern path is congested (~good) and
+  // every other path is good: AND-accumulate over all rows.
+  std::vector<std::uint8_t> in_pattern(block_.path_count, 0);
+  for (PathId p : pattern) {
+    TOMO_REQUIRE(p < block_.path_count, "pattern path id out of range");
+    in_pattern[p] = 1;
+  }
+  const std::size_t words = block_.words_per_path();
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t match = block_.word_mask(w);
+    for (PathId p = 0; p < block_.path_count; ++p) {
+      const std::uint64_t good = block_.good_row(p)[w];
+      match &= in_pattern[p] ? ~good : good;
+    }
+    count += static_cast<std::size_t>(std::popcount(match));
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(block_.snapshot_count);
 }
 
 }  // namespace tomo::sim

@@ -10,9 +10,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/coverage.hpp"
+#include "sim/measurement_block.hpp"
 #include "sim/snapshot.hpp"
 
 namespace tomo::sim {
@@ -23,8 +27,18 @@ class MeasurementProvider {
 
   virtual std::size_t path_count() const = 0;
 
-  /// P(every path in `paths` is good); 1 for the empty set.
-  virtual double all_good_prob(const std::vector<PathId>& paths) const = 0;
+  /// P(every path in `paths` is good); 1 for the empty set. The span is the
+  /// one virtual entry point — callers with a vector or a braced list go
+  /// through the forwarding overloads below, so no query ever materializes
+  /// a temporary vector on the provider side.
+  virtual double all_good_prob(std::span<const PathId> paths) const = 0;
+
+  double all_good_prob(const std::vector<PathId>& paths) const {
+    return all_good_prob(std::span<const PathId>(paths));
+  }
+  double all_good_prob(std::initializer_list<PathId> paths) const {
+    return all_good_prob(std::span<const PathId>(paths.begin(), paths.size()));
+  }
 
   /// P(the congested-path set is exactly `pattern`).
   virtual double exact_pattern_prob(const PathIdSet& pattern) const = 0;
@@ -34,49 +48,62 @@ class MeasurementProvider {
 
   /// P(path `p` good) and P(both paths good). These are the equation
   /// harvest's two hot queries; providers with a cheaper route than the
-  /// general set query (EmpiricalMeasurement's bitset cache) override them.
-  virtual double good_prob(PathId p) const { return all_good_prob({p}); }
+  /// general set query (EmpiricalMeasurement's bitmask rows) override them.
+  /// The defaults stage the query on the stack — no heap traffic.
+  virtual double good_prob(PathId p) const {
+    const PathId one[1] = {p};
+    return all_good_prob(std::span<const PathId>(one, 1));
+  }
   virtual double pair_good_prob(PathId a, PathId b) const {
-    return all_good_prob({a, b});
+    const PathId two[2] = {a, b};
+    return all_good_prob(std::span<const PathId>(two, 2));
   }
 };
 
-/// Estimates from bit-packed snapshot observations.
+/// Estimates from path-major good-snapshot bitmasks.
 ///
-/// Construction snapshots one good-mask bitset per path (the complement of
-/// the congested row, tail bits cleared) plus its popcount, so the harvest's
-/// pair_good_prob(p, q) is a word-wise AND + popcount over the two cached
-/// masks — no per-query re-scan of the observation history and no temporary
-/// path vectors. The cache is an exact view of the same bits, so every
-/// count (and therefore every downstream metric) is identical to the scalar
-/// path, which `use_bitset_cache = false` keeps available as a reference
-/// implementation for differential tests.
+/// The canonical constructor adopts the simulator's MeasurementBlock as-is —
+/// no re-packing, no reference to keep alive — so the harvest's
+/// pair_good_prob(p, q) is a word-wise AND + popcount over the two rows.
+/// Observation-based constructors pack the complement rows once and own the
+/// result. The scalar-reference constructor instead copies the observations
+/// and answers every query by re-scanning them: an independent
+/// implementation of the same counts, kept for differential tests.
 class EmpiricalMeasurement final : public MeasurementProvider {
  public:
-  /// Keeps a reference; `obs` must outlive the measurement.
-  explicit EmpiricalMeasurement(const PathObservations& obs,
-                                bool use_bitset_cache = true);
+  /// Adopts the simulator's block directly (zero-copy hand-off).
+  explicit EmpiricalMeasurement(MeasurementBlock block);
 
-  std::size_t path_count() const override { return obs_.path_count(); }
-  double all_good_prob(const std::vector<PathId>& paths) const override;
+  /// Packs `obs` into an owned bitmask block; `obs` may die afterwards.
+  explicit EmpiricalMeasurement(const PathObservations& obs);
+
+  /// `use_bitset_cache = false` selects the scalar reference implementation
+  /// (owned copy of `obs`, per-query scans); `true` is the packing ctor.
+  EmpiricalMeasurement(const PathObservations& obs, bool use_bitset_cache);
+
+  using MeasurementProvider::all_good_prob;
+
+  std::size_t path_count() const override;
+  double all_good_prob(std::span<const PathId> paths) const override;
   double exact_pattern_prob(const PathIdSet& pattern) const override;
-  std::size_t sample_count() const override { return obs_.snapshot_count(); }
+  std::size_t sample_count() const override;
 
   double good_prob(PathId p) const override;
   double pair_good_prob(PathId a, PathId b) const override;
 
-  bool uses_bitset_cache() const { return !good_bits_.empty(); }
+  /// Number of snapshots in which path `p` was good (exact count, not a
+  /// ratio — used by callers that compare against sample_count()).
+  std::size_t good_count(PathId p) const;
+
+  bool uses_bitset_cache() const { return scalar_obs_ == nullptr; }
+
+  /// The underlying block (empty in scalar-reference mode).
+  const MeasurementBlock& block() const { return block_; }
 
  private:
-  const std::uint64_t* good_row(PathId p) const {
-    return good_bits_.data() + p * obs_.words_per_path();
-  }
-
-  const PathObservations& obs_;
-  // Good-snapshot bitmask per path (bit n = path good in snapshot n),
-  // path-major; empty when the scalar reference path is requested.
-  std::vector<std::uint64_t> good_bits_;
-  std::vector<std::size_t> good_counts_;  // popcount(good_row(p)) per path
+  MeasurementBlock block_;
+  // Scalar reference mode only: owned observation copy; all queries scan it.
+  std::unique_ptr<PathObservations> scalar_obs_;
 };
 
 }  // namespace tomo::sim

@@ -1,0 +1,80 @@
+#include "sim/measurement_block.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace tomo::sim {
+
+MeasurementBlock MeasurementBlock::all_good(std::size_t path_count,
+                                            std::size_t snapshot_count) {
+  TOMO_REQUIRE(path_count > 0, "measurement block needs at least one path");
+  TOMO_REQUIRE(snapshot_count > 0,
+               "measurement block needs at least one snapshot");
+  MeasurementBlock block;
+  block.path_count = path_count;
+  block.snapshot_count = snapshot_count;
+  const std::size_t words = block.words_per_path();
+  block.good_bits.assign(path_count * words, ~std::uint64_t{0});
+  const std::uint64_t tail = block.word_mask(words - 1);
+  for (PathId p = 0; p < path_count; ++p) {
+    block.good_row(p)[words - 1] = tail;
+  }
+  block.good_counts.assign(path_count, snapshot_count);
+  return block;
+}
+
+std::uint64_t MeasurementBlock::word_mask(std::size_t word_index) const {
+  if (word_index + 1 < words_per_path() || snapshot_count % 64 == 0) {
+    return ~std::uint64_t{0};
+  }
+  return (std::uint64_t{1} << (snapshot_count % 64)) - 1;
+}
+
+void MeasurementBlock::recount() {
+  const std::size_t words = words_per_path();
+  good_counts.assign(path_count, 0);
+  for (PathId p = 0; p < path_count; ++p) {
+    const std::uint64_t* row = good_row(p);
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      count += static_cast<std::size_t>(std::popcount(row[w]));
+    }
+    good_counts[p] = count;
+  }
+}
+
+MeasurementBlock MeasurementBlock::from_observations(
+    const PathObservations& obs) {
+  MeasurementBlock block;
+  block.path_count = obs.path_count();
+  block.snapshot_count = obs.snapshot_count();
+  const std::size_t words = block.words_per_path();
+  block.good_bits.resize(block.path_count * words);
+  for (PathId p = 0; p < block.path_count; ++p) {
+    const std::uint64_t* congested = obs.congested_words(p);
+    std::uint64_t* good = block.good_row(p);
+    for (std::size_t w = 0; w < words; ++w) {
+      good[w] = ~congested[w] & block.word_mask(w);
+    }
+  }
+  block.recount();
+  return block;
+}
+
+PathObservations MeasurementBlock::to_observations() const {
+  TOMO_REQUIRE(!empty(), "cannot convert an empty measurement block");
+  PathObservations obs(path_count, snapshot_count);
+  const std::size_t words = words_per_path();
+  std::vector<std::uint64_t> congested(words);
+  for (PathId p = 0; p < path_count; ++p) {
+    const std::uint64_t* good = good_row(p);
+    for (std::size_t w = 0; w < words; ++w) {
+      congested[w] = ~good[w] & word_mask(w);
+    }
+    obs.assign_congested_row(p, congested.data());
+  }
+  return obs;
+}
+
+}  // namespace tomo::sim

@@ -1,0 +1,58 @@
+// The simulator → measurement hand-off: path-major good-snapshot bitmasks.
+//
+// The equation harvest only ever consumes snapshot observations as per-path
+// good-bit words (AND + popcount over pairs). MeasurementBlock is exactly
+// that representation — one bitmask row per path (bit n = path good in
+// snapshot n, tail bits beyond snapshot_count cleared) plus the per-path
+// popcounts — produced directly by the batched simulator and adopted by
+// EmpiricalMeasurement without any re-packing. PathObservations (the
+// congested-bit view used by serialization and bootstrap resampling) is
+// derivable in either direction; conversions are exact bit complements, so
+// every downstream count is identical whichever side produced the data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/path.hpp"
+#include "sim/snapshot.hpp"
+
+namespace tomo::sim {
+
+struct MeasurementBlock {
+  std::size_t path_count = 0;
+  std::size_t snapshot_count = 0;
+  /// Path-major good-bit words: row p occupies words_per_path() entries
+  /// starting at p * words_per_path(); tail bits are zero.
+  std::vector<std::uint64_t> good_bits;
+  /// popcount of row p (number of snapshots in which path p was good).
+  std::vector<std::size_t> good_counts;
+
+  bool empty() const { return path_count == 0; }
+
+  std::size_t words_per_path() const { return (snapshot_count + 63) / 64; }
+
+  const std::uint64_t* good_row(PathId p) const {
+    return good_bits.data() + p * words_per_path();
+  }
+  std::uint64_t* good_row(PathId p) {
+    return good_bits.data() + p * words_per_path();
+  }
+
+  /// All-good rows, tail bits cleared, counts = snapshot_count.
+  static MeasurementBlock all_good(std::size_t path_count,
+                                   std::size_t snapshot_count);
+
+  /// Word whose bits cover snapshots [64*word_index, ...) — all-ones except
+  /// for the final word of a row, where bits beyond snapshot_count clear.
+  std::uint64_t word_mask(std::size_t word_index) const;
+
+  /// Recomputes good_counts from good_bits (after direct bit writes).
+  void recount();
+
+  /// Exact complement conversions (tail handling included).
+  static MeasurementBlock from_observations(const PathObservations& obs);
+  PathObservations to_observations() const;
+};
+
+}  // namespace tomo::sim

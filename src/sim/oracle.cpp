@@ -15,7 +15,7 @@ OracleMeasurement::OracleMeasurement(const corr::CongestionModel& model,
 }
 
 double OracleMeasurement::all_good_prob(
-    const std::vector<PathId>& paths) const {
+    std::span<const PathId> paths) const {
   std::vector<graph::LinkId> links;
   for (PathId p : paths) {
     const auto& pl = coverage_.links_of(p);

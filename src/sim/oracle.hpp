@@ -22,8 +22,10 @@ class OracleMeasurement final : public MeasurementProvider {
                     const graph::CoverageIndex& coverage,
                     std::size_t max_total_links = 24);
 
+  using MeasurementProvider::all_good_prob;
+
   std::size_t path_count() const override { return coverage_.path_count(); }
-  double all_good_prob(const std::vector<PathId>& paths) const override;
+  double all_good_prob(std::span<const PathId> paths) const override;
   double exact_pattern_prob(const PathIdSet& pattern) const override;
   std::size_t sample_count() const override { return 0; }
 

@@ -29,6 +29,18 @@ void PathObservations::set_congested(PathId p, std::size_t n) {
   row(p)[n / 64] |= std::uint64_t{1} << (n % 64);
 }
 
+void PathObservations::assign_congested_row(PathId p,
+                                            const std::uint64_t* words) {
+  const std::size_t count = words_per_path();
+  const std::size_t tail = snapshot_count_ % 64;
+  if (tail != 0) {
+    TOMO_REQUIRE((words[count - 1] & ~((std::uint64_t{1} << tail) - 1)) == 0,
+                 "congested row has bits beyond snapshot_count");
+  }
+  std::uint64_t* r = row(p);
+  for (std::size_t w = 0; w < count; ++w) r[w] = words[w];
+}
+
 bool PathObservations::congested(PathId p, std::size_t n) const {
   TOMO_REQUIRE(n < snapshot_count_, "snapshot index out of range");
   return (row(p)[n / 64] >> (n % 64)) & 1;

@@ -28,6 +28,10 @@ class PathObservations {
   /// Marks path `p` congested in snapshot `n` (bits start out good).
   void set_congested(PathId p, std::size_t n);
 
+  /// Overwrites path `p`'s congested-bit row from `words` (words_per_path()
+  /// of them). Bits beyond snapshot_count() must already be zero.
+  void assign_congested_row(PathId p, const std::uint64_t* words);
+
   bool congested(PathId p, std::size_t n) const;
 
   /// Number of snapshots in which the path was good.

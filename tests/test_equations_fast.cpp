@@ -29,6 +29,8 @@ struct PreparedScenario {
   ScenarioInstance inst;
   graph::CoverageIndex coverage;
   sim::SimulationResult sim_result;
+  // Scalar copy of the snapshots, for the reference measurement path.
+  sim::PathObservations observations;
 };
 
 PreparedScenario prepare(ScenarioConfig config, std::uint64_t sim_seed) {
@@ -41,8 +43,9 @@ PreparedScenario prepare(ScenarioConfig config, std::uint64_t sim_seed) {
   sc.seed = sim_seed;
   sim::SimulationResult sim_result =
       sim::simulate(inst.graph, inst.paths, *inst.truth, sc);
+  sim::PathObservations observations = sim_result.observations();
   return PreparedScenario{std::move(inst), std::move(coverage),
-                          std::move(sim_result)};
+                          std::move(sim_result), std::move(observations)};
 }
 
 void expect_identical(const EquationSystem& a, const EquationSystem& b,
@@ -82,7 +85,7 @@ void expect_identical(const EquationSystem& a, const EquationSystem& b,
 EquationSystem reference_build(const PreparedScenario& p,
                                const corr::CorrelationSets& sets,
                                EquationBuildOptions options) {
-  const sim::EmpiricalMeasurement scalar(p.sim_result.observations,
+  const sim::EmpiricalMeasurement scalar(p.observations,
                                          /*use_bitset_cache=*/false);
   options.use_signature_precheck = false;
   options.jobs = 1;
@@ -101,7 +104,7 @@ TEST_P(RegistryDifferential, FastPathsMatchReferenceExactly) {
   const EquationSystem ref = reference_build(p, p.inst.declared_sets,
                                              defaults);
 
-  const sim::EmpiricalMeasurement fast(p.sim_result.observations);
+  const sim::EmpiricalMeasurement fast(p.sim_result.measurement);
   ASSERT_TRUE(fast.uses_bitset_cache());
   for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
     EquationBuildOptions options;
@@ -134,10 +137,10 @@ TEST(EquationsFast, BitsetCacheMatchesScalarCountsEverywhere) {
   config.vantage_points = 10;
   config.seed = 21;
   const PreparedScenario p = prepare(config, 7);
-  const sim::EmpiricalMeasurement fast(p.sim_result.observations);
-  const sim::EmpiricalMeasurement scalar(p.sim_result.observations, false);
+  const sim::EmpiricalMeasurement fast(p.sim_result.measurement);
+  const sim::EmpiricalMeasurement scalar(p.observations, false);
   ASSERT_FALSE(scalar.uses_bitset_cache());
-  const std::size_t n = p.sim_result.observations.path_count();
+  const std::size_t n = p.observations.path_count();
   for (graph::PathId a = 0; a < n; ++a) {
     ASSERT_EQ(fast.good_prob(a), scalar.good_prob(a)) << "path " << a;
     for (graph::PathId b = 0; b < n; ++b) {
@@ -162,7 +165,7 @@ TEST(EquationsFast, RandomTopologiesSeedsAndOptionVariations) {
     config.cluster_size = 3 + round;
     config.seed = rng.below(1u << 30);
     const PreparedScenario p = prepare(config, rng.below(1u << 30));
-    const sim::EmpiricalMeasurement fast(p.sim_result.observations);
+    const sim::EmpiricalMeasurement fast(p.sim_result.measurement);
 
     std::vector<EquationBuildOptions> variations(4);
     variations[1].include_redundant = false;
@@ -192,7 +195,7 @@ TEST(EquationsFast, SingletonStructureShortCircuitMatchesReference) {
   const corr::CorrelationSets singles =
       corr::CorrelationSets::singletons(p.coverage.link_count());
   const EquationSystem ref = reference_build(p, singles, {});
-  const sim::EmpiricalMeasurement fast(p.sim_result.observations);
+  const sim::EmpiricalMeasurement fast(p.sim_result.measurement);
   const EquationSystem sys = build_equations(p.coverage, singles, fast);
   expect_identical(sys, ref, "singleton structure");
   EXPECT_EQ(sys.dropped_correlated, 0u);

@@ -135,7 +135,7 @@ TEST(Bootstrap, IntervalsBracketTruthOnFigure1a) {
     options.replicates = 40;
     options.seed = seed * 7;
     const BootstrapResult r = bootstrap_congestion(
-        sys.graph, sys.paths, cov, sys.sets, simr.observations, options);
+        sys.graph, sys.paths, cov, sys.sets, simr.observations(), options);
     EXPECT_EQ(r.replicates, 40u);
     for (graph::LinkId e = 0; e < 4; ++e) {
       ASSERT_LE(r.lower[e], r.point[e] + 1e-9);
@@ -165,7 +165,7 @@ TEST(Bootstrap, MoreSnapshotsNarrowIntervals) {
     BootstrapOptions options;
     options.replicates = 30;
     const BootstrapResult r = bootstrap_congestion(
-        sys.graph, sys.paths, cov, sys.sets, simr.observations, options);
+        sys.graph, sys.paths, cov, sys.sets, simr.observations(), options);
     double width = 0.0;
     for (graph::LinkId e = 0; e < 4; ++e) {
       width += r.upper[e] - r.lower[e];

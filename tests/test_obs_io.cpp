@@ -38,13 +38,13 @@ TEST(ObsIo, RoundTripSimulatedData) {
   config.seed = 5;
   const auto result = simulate(sys.graph, sys.paths, *model, config);
   std::stringstream buffer;
-  write_observations(buffer, result.observations);
+  write_observations(buffer, result.observations());
   const PathObservations loaded = read_observations(buffer);
   for (PathId p = 0; p < 3; ++p) {
-    EXPECT_EQ(loaded.good_count(p), result.observations.good_count(p));
+    EXPECT_EQ(loaded.good_count(p), result.observations().good_count(p));
   }
   EXPECT_EQ(loaded.exact_pattern_count({0, 1}),
-            result.observations.exact_pattern_count({0, 1}));
+            result.observations().exact_pattern_count({0, 1}));
 }
 
 TEST(ObsIo, AllGoodMatrixSerializesCompactly) {

@@ -91,9 +91,9 @@ TEST(Simulator, ExactModeAppliesSeparability) {
   config.mode = PacketMode::kExact;
   const auto result = simulate(sys.graph, sys.paths, *model, config);
   // P1={e1,e3} and P2={e2,e3} congested every snapshot; P3={e2,e4} never.
-  EXPECT_EQ(result.observations.good_count(0), 0u);
-  EXPECT_EQ(result.observations.good_count(1), 0u);
-  EXPECT_EQ(result.observations.good_count(2), 50u);
+  EXPECT_EQ(result.observations().good_count(0), 0u);
+  EXPECT_EQ(result.observations().good_count(1), 0u);
+  EXPECT_EQ(result.observations().good_count(2), 50u);
   EXPECT_EQ(result.link_congested_count[2], 50u);
   EXPECT_EQ(result.link_congested_count[0], 0u);
 }
@@ -109,8 +109,8 @@ TEST(Simulator, BinomialModeDetectsCongestionReliably) {
   const auto result = simulate(sys.graph, sys.paths, *model, config);
   // With 1000 packets, a congested path (loss > ~1%) is almost always
   // detected and a good path almost never misflagged.
-  EXPECT_LE(result.observations.good_count(0), 20u);
-  EXPECT_GE(result.observations.good_count(2), 180u);
+  EXPECT_LE(result.observations().good_count(0), 20u);
+  EXPECT_GE(result.observations().good_count(2), 180u);
 }
 
 TEST(Simulator, PerPacketAgreesWithBinomialStatistically) {
@@ -128,9 +128,9 @@ TEST(Simulator, PerPacketAgreesWithBinomialStatistically) {
   const auto rp = simulate(sys.graph, sys.paths, *model, perpkt);
   // Same congestion process statistics: good fractions agree within noise.
   for (graph::PathId p = 0; p < 3; ++p) {
-    const double fb = static_cast<double>(rb.observations.good_count(p)) /
+    const double fb = static_cast<double>(rb.observations().good_count(p)) /
                       binom.snapshots;
-    const double fp = static_cast<double>(rp.observations.good_count(p)) /
+    const double fp = static_cast<double>(rp.observations().good_count(p)) /
                       perpkt.snapshots;
     EXPECT_NEAR(fb, fp, 0.08) << "path " << p;
   }
@@ -145,7 +145,7 @@ TEST(Simulator, DeterministicInSeed) {
   const auto r1 = simulate(sys.graph, sys.paths, *model, config);
   const auto r2 = simulate(sys.graph, sys.paths, *model, config);
   for (graph::PathId p = 0; p < 3; ++p) {
-    EXPECT_EQ(r1.observations.good_count(p), r2.observations.good_count(p));
+    EXPECT_EQ(r1.observations().good_count(p), r2.observations().good_count(p));
   }
 }
 
@@ -222,7 +222,7 @@ TEST(Oracle, PatternProbMatchesEmpirical) {
   config.mode = PacketMode::kExact;
   config.seed = 77;
   const auto result = simulate(sys.graph, sys.paths, *model, config);
-  const EmpiricalMeasurement empirical(result.observations);
+  const EmpiricalMeasurement empirical(result.observations());
   for (const graph::PathIdSet& pattern :
        {graph::PathIdSet{}, {0}, {0, 1}, {0, 1, 2}, {2}}) {
     EXPECT_NEAR(empirical.exact_pattern_prob(pattern),

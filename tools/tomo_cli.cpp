@@ -156,6 +156,11 @@ int cmd_simulate(int argc, const char* const* argv) {
   flags.add_double("congested-fraction", 0.1, "fraction of congested links");
   flags.add_double("strength", 0.95, "correlation strength in [0,1)");
   flags.add_int("seed", 1, "RNG seed");
+  flags.add_string("mode", "batched",
+                   "simulation engine: batched|binomial|per-packet|exact");
+  flags.add_int("jobs", 1,
+                "simulation worker threads (0 = all cores); output is "
+                "identical for any value");
   if (!flags.parse(argc, argv)) return 0;
 
   const graph::MeasuredSystem system =
@@ -183,10 +188,12 @@ int cmd_simulate(int argc, const char* const* argv) {
   config.snapshots = static_cast<std::size_t>(flags.get_int("snapshots"));
   config.packets_per_path =
       static_cast<std::size_t>(flags.get_int("packets"));
+  config.mode = sim::parse_packet_mode(flags.get_string("mode"));
+  config.jobs = static_cast<std::size_t>(flags.get_int("jobs"));
   config.seed = rng();
   const auto result =
       sim::simulate(system.graph, system.paths, *truth, config);
-  sim::save_observations(flags.get_string("out"), result.observations);
+  sim::save_observations(flags.get_string("out"), result.observations());
   std::printf("simulated %zu snapshots over %zu paths -> %s\n",
               config.snapshots, system.paths.size(),
               flags.get_string("out").c_str());

@@ -64,6 +64,8 @@ struct ScenarioScore {
   /// per-algorithm solver detail strings (engine, iterations, refactorize
   /// count); JSON telemetry only.
   double solve_seconds = 0.0;
+  /// Snapshot-simulation wall seconds; JSON telemetry only.
+  double sim_seconds = 0.0;
   std::string corr_detail, ind_detail;
 };
 
@@ -72,21 +74,10 @@ struct ScenarioScore {
 ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
                         std::uint64_t tag) {
   const bench::Settings& s = run.settings();
+  const core::TrialSpec spec = bench::resolve_trial_spec(s, entry, tag);
   const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-    core::ScenarioConfig config = entry.config;
-    if (s.full) bench::scale_to_paper(config);
-    config.seed = ctx.seed(tag);
-    const auto inst = core::build_scenario(config);
-    core::ExperimentConfig ec = bench::experiment_config(s, ctx.trial);
-    if (s.trials == 1) {
-      // A single trial leaves the trial-level pool idle; hand --jobs to the
-      // batched pair-candidate evaluation and the solver's Gram build
-      // instead. Both fan out with deterministic (jobs-invariant) merges,
-      // so stdout stays byte-identical for any value.
-      ec.inference.equations.jobs = s.jobs;
-      ec.inference.solver.jobs = s.jobs;
-    }
-    const auto result = core::run_experiment(inst, ec);
+    const auto inst = core::build_scenario(spec.scenario_for(ctx));
+    const auto result = core::run_experiment(inst, spec.experiment_for(ctx));
     ScenarioScore score;
     score.links = inst.graph.link_count();
     score.paths = inst.paths.size();
@@ -99,6 +90,7 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
                             result.independence.system.build_seconds;
     score.solve_seconds =
         result.correlation.solve_seconds + result.independence.solve_seconds;
+    score.sim_seconds = result.sim_seconds;
     score.corr_detail = result.correlation.solver_detail;
     score.ind_detail = result.independence.solver_detail;
     return score;
@@ -119,6 +111,7 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
     total.ind_p90 += outcome.value.ind_p90 / trials;
     total.harvest_seconds += outcome.value.harvest_seconds / trials;
     total.solve_seconds += outcome.value.solve_seconds / trials;
+    total.sim_seconds += outcome.value.sim_seconds / trials;
     details.push(util::Json::object()
                      .set("correlation", outcome.value.corr_detail)
                      .set("independence", outcome.value.ind_detail));
@@ -127,6 +120,7 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
   run.metric(entry.name + "_independence_mean_err", total.ind_mean);
   run.metric(entry.name + "_harvest_seconds", total.harvest_seconds);
   run.metric(entry.name + "_solve_seconds", total.solve_seconds);
+  run.metric(entry.name + "_sim_seconds", total.sim_seconds);
   run.annotation(entry.name + "_solver_detail", std::move(details));
   return total;
 }
