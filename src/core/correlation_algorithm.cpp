@@ -31,24 +31,23 @@ corr::CorrelationSets demote_to_singletons(
   return corr::CorrelationSets(sets.link_count(), std::move(partition));
 }
 
-InferenceResult infer_congestion(const graph::Graph& g,
-                                 const std::vector<graph::Path>& paths,
-                                 const graph::CoverageIndex& coverage,
-                                 const corr::CorrelationSets& sets,
-                                 const sim::MeasurementProvider& measurement,
-                                 const InferenceOptions& options) {
-  InferenceResult result;
+RefinedHarvest harvest_refined_system(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const graph::CoverageIndex& coverage, const corr::CorrelationSets& sets,
+    const sim::MeasurementProvider& measurement,
+    const InferenceOptions& options) {
+  RefinedHarvest harvest;
 
   corr::CorrelationSets refined = sets;
   if (options.refine_unidentifiable) {
-    result.refined_links =
+    harvest.refined_links =
         corr::structurally_unidentifiable_links(g, paths, sets);
-    if (!result.refined_links.empty()) {
-      refined = demote_to_singletons(sets, result.refined_links);
+    if (!harvest.refined_links.empty()) {
+      refined = demote_to_singletons(sets, harvest.refined_links);
     }
   }
 
-  result.system =
+  harvest.system =
       build_equations(coverage, refined, measurement, options.equations);
 
   // Fallback rounds: links untouched by any usable equation are
@@ -58,7 +57,7 @@ InferenceResult infer_congestion(const graph::Graph& g,
        options.demote_uncovered && round < options.max_demotion_rounds;
        ++round) {
     std::vector<std::uint8_t> covered(coverage.link_count(), 0);
-    for (const Equation& eq : result.system.equations) {
+    for (const Equation& eq : harvest.system.equations) {
       for (graph::LinkId e : eq.links) covered[e] = 1;
     }
     std::vector<graph::LinkId> uncovered;
@@ -72,11 +71,40 @@ InferenceResult infer_congestion(const graph::Graph& g,
     }
     if (!progress) break;  // already singletons; nothing left to relax
     refined = demote_to_singletons(refined, uncovered);
-    result.refined_links.insert(result.refined_links.end(),
-                                uncovered.begin(), uncovered.end());
-    result.system =
+    harvest.refined_links.insert(harvest.refined_links.end(),
+                                 uncovered.begin(), uncovered.end());
+    harvest.system =
         build_equations(coverage, refined, measurement, options.equations);
   }
+  return harvest;
+}
+
+void apply_solution(InferenceResult& result,
+                    linalg::LogSystemSolution solution) {
+  result.log_good = std::move(solution.x);
+  result.solver_detail = std::move(solution.detail);
+  result.active_set = std::move(solution.active_set);
+  result.congestion_prob.resize(result.log_good.size());
+  for (std::size_t k = 0; k < result.log_good.size(); ++k) {
+    result.congestion_prob[k] = 1.0 - std::exp(result.log_good[k]);
+    // Clamp residual numerical noise.
+    result.congestion_prob[k] =
+        std::clamp(result.congestion_prob[k], 0.0, 1.0);
+  }
+}
+
+InferenceResult infer_congestion(const graph::Graph& g,
+                                 const std::vector<graph::Path>& paths,
+                                 const graph::CoverageIndex& coverage,
+                                 const corr::CorrelationSets& sets,
+                                 const sim::MeasurementProvider& measurement,
+                                 const InferenceOptions& options) {
+  InferenceResult result;
+
+  RefinedHarvest harvest = harvest_refined_system(g, paths, coverage, sets,
+                                                  measurement, options);
+  result.system = std::move(harvest.system);
+  result.refined_links = std::move(harvest.refined_links);
   TOMO_REQUIRE(!result.system.equations.empty(),
                "no usable equations: the measurements never observed a "
                "usable good path");
@@ -88,18 +116,10 @@ InferenceResult infer_congestion(const graph::Graph& g,
   const std::size_t weight_samples =
       options.weight_by_variance ? measurement.sample_count() : 0;
   const Stopwatch solve_timer;
-  const linalg::LogSystemSolution solution = linalg::solve_log_system(
+  linalg::LogSystemSolution solution = linalg::solve_log_system(
       sparse_view(result.system, weight_samples), options.solver);
   result.solve_seconds = solve_timer.seconds();
-  result.log_good = solution.x;
-  result.solver_detail = solution.detail;
-  result.congestion_prob.resize(solution.x.size());
-  for (std::size_t k = 0; k < solution.x.size(); ++k) {
-    result.congestion_prob[k] = 1.0 - std::exp(solution.x[k]);
-    // Clamp residual numerical noise.
-    result.congestion_prob[k] =
-        std::clamp(result.congestion_prob[k], 0.0, 1.0);
-  }
+  apply_solution(result, std::move(solution));
   return result;
 }
 

@@ -43,11 +43,40 @@ struct InferenceResult {
   std::vector<double> log_good;         // x_k = log P(X_k = 0)
   EquationSystem system;                // the solved system (diagnostics)
   std::string solver_detail;
+  /// Converged NNLS support (links with non-zero estimate), sorted; filled
+  /// by the incremental engine only. The streaming driver feeds it back as
+  /// the next window's warm start.
+  std::vector<std::size_t> active_set;
   /// Wall seconds spent inside the solver (telemetry; never printed on
   /// stdout — the *_solve_seconds JSON mirror of system.build_seconds).
   double solve_seconds = 0.0;
   std::vector<graph::LinkId> refined_links;  // demoted to singletons
 };
+
+/// The structure-determination phase of the correlation algorithm,
+/// factored out so the batch and streaming drivers run literally the same
+/// code: Assumption-4 refinement, the pair-equation harvest, and the §3.3
+/// demotion rounds.
+struct RefinedHarvest {
+  EquationSystem system;  // harvest under the refined structure
+  std::vector<graph::LinkId> refined_links;  // demoted to singletons
+};
+
+/// Runs refinement + harvest + demotion on the measurements seen so far.
+/// Unlike infer_congestion this may return an *empty* system — the
+/// streaming warm-up case where no usable good path has been observed yet;
+/// batch callers reject that downstream.
+RefinedHarvest harvest_refined_system(
+    const graph::Graph& g, const std::vector<graph::Path>& paths,
+    const graph::CoverageIndex& coverage, const corr::CorrelationSets& sets,
+    const sim::MeasurementProvider& measurement,
+    const InferenceOptions& options);
+
+/// Converts a solved log-domain system into the probability-domain fields
+/// of an InferenceResult (log_good, clamped congestion_prob, active set,
+/// solver detail). Shared by the batch and streaming drivers.
+void apply_solution(InferenceResult& result,
+                    linalg::LogSystemSolution solution);
 
 /// The correlation algorithm. `sets` is the operator's declared correlation
 /// structure; measurements come from `measurement`.

@@ -20,6 +20,23 @@ std::vector<double> ExperimentResult::independence_errors() const {
                                   potentially_congested);
 }
 
+std::vector<std::size_t> potentially_congested_links(
+    const std::vector<graph::Path>& paths,
+    const sim::MeasurementProvider& measurement) {
+  // Potentially congested links: on >= 1 path that was ever congested.
+  std::unordered_set<std::size_t> flagged;
+  for (graph::PathId p = 0; p < paths.size(); ++p) {
+    if (measurement.good_prob(p) < 1.0) {
+      for (graph::LinkId e : paths[p].links()) {
+        flagged.insert(e);
+      }
+    }
+  }
+  std::vector<std::size_t> links(flagged.begin(), flagged.end());
+  std::sort(links.begin(), links.end());
+  return links;
+}
+
 ExperimentResult run_experiment(const ScenarioInstance& scenario,
                                 const ExperimentConfig& config) {
   TOMO_REQUIRE(scenario.truth != nullptr, "scenario has no truth model");
@@ -37,18 +54,8 @@ ExperimentResult run_experiment(const ScenarioInstance& scenario,
   result.truth = scenario.true_marginals;
   result.sim_seconds = sim_seconds;
 
-  // Potentially congested links: on >= 1 path that was ever congested.
-  std::unordered_set<std::size_t> flagged;
-  for (graph::PathId p = 0; p < scenario.paths.size(); ++p) {
-    if (measurement.good_count(p) < measurement.sample_count()) {
-      for (graph::LinkId e : scenario.paths[p].links()) {
-        flagged.insert(e);
-      }
-    }
-  }
-  result.potentially_congested.assign(flagged.begin(), flagged.end());
-  std::sort(result.potentially_congested.begin(),
-            result.potentially_congested.end());
+  result.potentially_congested =
+      potentially_congested_links(scenario.paths, measurement);
 
   result.correlation =
       infer_congestion(scenario.graph, scenario.paths, coverage,

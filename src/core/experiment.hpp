@@ -35,4 +35,11 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const ScenarioInstance& scenario,
                                 const ExperimentConfig& config);
 
+/// Links on at least one path with a congested observation, sorted — the
+/// paper's metric population, computable from any measurement provider
+/// (the streaming daemon re-derives it per window).
+std::vector<std::size_t> potentially_congested_links(
+    const std::vector<graph::Path>& paths,
+    const sim::MeasurementProvider& measurement);
+
 }  // namespace tomo::core

@@ -119,17 +119,19 @@ NnlsResult nnls_reference(const Matrix& a, const Vector& b,
 class IncrementalNnls {
  public:
   IncrementalNnls(const GramSystem& gs, std::size_t max_iterations,
-                  double tol)
+                  double tol, const std::vector<std::size_t>& warm)
       : gs_(gs),
         n_(gs.gram.cols()),
         max_iterations_(max_iterations),
         tol_(tol),
+        warm_(warm),
         in_passive_(n_, 0),
         blocked_(n_, 0),
         chol_(n_) {}
 
   NnlsResult run() {
     result_.x.assign(n_, 0.0);
+    if (!warm_.empty()) warm_up();
     Vector w = gradient();
 
     while (result_.iterations < max_iterations_) {
@@ -153,10 +155,64 @@ class IncrementalNnls {
     }
 
     finish_residual();
+    result_.active_set.assign(passive_.begin(), passive_.end());
+    std::sort(result_.active_set.begin(), result_.active_set.end());
     return std::move(result_);
   }
 
  private:
+  /// Seeds the passive set from a previous solve's support before the
+  /// active-set loop starts. Two phases: admit every valid, independent
+  /// seed column into the factor, then restore feasibility by solving the
+  /// restricted problem and dropping non-positive components (back to
+  /// front, editing the factor in place) until the restricted optimum is
+  /// strictly feasible. From there the standard outer loop takes over with
+  /// x already at the seeded set's optimum — when the seed matches the true
+  /// support, the first gradient check certifies optimality immediately.
+  /// The restoration solves are not counted as iterations: the passive set
+  /// strictly shrinks each round, so the phase is bounded by the seed size.
+  void warm_up() {
+    for (std::size_t j : warm_) {
+      if (j >= n_ || in_passive_[j]) continue;
+      if (gs_.gram(j, j) <= 0.0) continue;  // empty column
+      if (!chol_.append(cross_terms(j), gs_.gram(j, j), kRelTol)) {
+        continue;  // dependent on the columns seeded so far; skip
+      }
+      in_passive_[j] = 1;
+      passive_.push_back(j);
+    }
+    while (!passive_.empty()) {
+      Vector cp(passive_.size());
+      for (std::size_t i = 0; i < passive_.size(); ++i) {
+        cp[i] = gs_.atb[passive_[i]];
+      }
+      Vector z = chol_.solve(cp);
+      if (!all_finite(z)) {
+        // Factor poisoned by the seed; abandon it and start cold.
+        chol_.clear();
+        for (std::size_t j : passive_) in_passive_[j] = 0;
+        passive_.clear();
+        break;
+      }
+      bool feasible = true;
+      for (std::size_t i = 0; i < passive_.size(); ++i) {
+        if (z[i] <= tol_) feasible = false;
+      }
+      if (feasible) {
+        for (std::size_t i = 0; i < passive_.size(); ++i) {
+          result_.x[passive_[i]] = z[i];
+        }
+        break;
+      }
+      for (std::size_t i = passive_.size(); i-- > 0;) {
+        if (z[i] > tol_) continue;
+        in_passive_[passive_[i]] = 0;
+        chol_.remove(i);
+        passive_.erase(passive_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+
   /// w = c - G x, using only the non-zero (passive) entries of x.
   Vector gradient() const {
     Vector w = gs_.atb;
@@ -331,6 +387,7 @@ class IncrementalNnls {
   const std::size_t n_;
   const std::size_t max_iterations_;
   const double tol_;
+  const std::vector<std::size_t>& warm_;
   NnlsResult result_;
   std::vector<std::size_t> passive_;
   std::vector<std::uint8_t> in_passive_;
@@ -397,7 +454,7 @@ NnlsResult nnls_gram(const GramSystem& system, const NnlsOptions& options) {
                "nnls_gram: atb length mismatch");
   const std::size_t cap =
       resolve_iteration_cap(options.max_iterations, system.gram.cols());
-  return IncrementalNnls(system, cap, options.tol).run();
+  return IncrementalNnls(system, cap, options.tol, options.warm_start).run();
 }
 
 }  // namespace tomo::linalg

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
@@ -38,6 +39,15 @@ struct NnlsOptions {
   std::size_t max_iterations = 0;
   /// Gradient/positivity tolerance of the active-set logic.
   double tol = 1e-10;
+  /// Warm start (incremental engine only): columns seeded into the passive
+  /// set before the active-set loop runs — typically the previous window's
+  /// converged support in a streaming solve. Out-of-range, duplicate, or
+  /// numerically dependent entries are dropped, and seeded columns whose
+  /// restricted solution is infeasible are removed before iteration, so a
+  /// stale or perturbed set is always safe: the result is the same optimum
+  /// a cold solve reaches, just via fewer iterations. The reference engine
+  /// ignores it.
+  std::vector<std::size_t> warm_start;
 };
 
 struct NnlsResult {
@@ -48,6 +58,11 @@ struct NnlsResult {
   /// Full refactorizations of the passive-set factor (incremental mode
   /// only): > 0 means the condition-triggered fallback fired.
   std::size_t refactorizations = 0;
+  /// The converged passive set (columns with x > 0), sorted ascending.
+  /// Filled by the incremental engine — feed it back through
+  /// NnlsOptions::warm_start to seed the next related solve. The reference
+  /// engine leaves it empty.
+  std::vector<std::size_t> active_set;
 };
 
 /// Normal-equations view of a least-squares problem: everything NNLS needs

@@ -60,41 +60,58 @@ void describe_nnls(std::ostringstream& detail, const NnlsResult& r,
   if (!r.converged) detail << " (iteration cap)";
 }
 
-}  // namespace
+/// Column -> incident-row adjacency, so each Gram row can be accumulated
+/// independently (and hence in parallel) while every entry's sum still
+/// runs in ascending row order — the jobs-invariance contract.
+struct ColumnAdjacency {
+  std::vector<std::size_t> offsets;       // cols + 1 prefix sums
+  std::vector<std::uint32_t> incident;    // row ids, ascending per column
+};
 
-GramSystem sparse_gram(const SparseSystemView& system, std::size_t jobs) {
+ColumnAdjacency column_adjacency(const SparseSystemView& system) {
   const std::size_t n = system.cols;
-  GramSystem gs;
-  gs.gram = Matrix(n, n);
-  gs.atb.assign(n, 0.0);
-
-  // Column -> incident-row adjacency, so each Gram row can be accumulated
-  // independently (and hence in parallel) while every entry's sum still
-  // runs in ascending row order — the jobs-invariance contract.
+  ColumnAdjacency adj;
   std::vector<std::size_t> counts(n, 0);
   for (const SparseRow& row : system.rows) {
     for (std::size_t k = 0; k < row.support_size; ++k) {
       ++counts[row.support[k]];
     }
   }
-  std::vector<std::size_t> offsets(n + 1, 0);
+  adj.offsets.assign(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    offsets[i + 1] = offsets[i] + counts[i];
+    adj.offsets[i + 1] = adj.offsets[i] + counts[i];
   }
-  std::vector<std::uint32_t> incident(offsets[n]);
-  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  adj.incident.resize(adj.offsets[n]);
+  std::vector<std::size_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
   for (std::size_t r = 0; r < system.rows.size(); ++r) {
     const SparseRow& row = system.rows[r];
     for (std::size_t k = 0; k < row.support_size; ++k) {
-      incident[cursor[row.support[k]]++] = static_cast<std::uint32_t>(r);
+      adj.incident[cursor[row.support[k]]++] = static_cast<std::uint32_t>(r);
     }
   }
+  return adj;
+}
 
+}  // namespace
+
+void accumulate_gram(GramSystem& gs, const SparseSystemView& system,
+                     std::size_t jobs) {
+  const std::size_t n = system.cols;
+  if (gs.gram.rows() != n || gs.gram.cols() != n) {
+    TOMO_REQUIRE(gs.gram.rows() == 0 && gs.atb.empty() && gs.btb == 0.0,
+                 "accumulate_gram: existing gram has a different column "
+                 "count");
+    gs.gram = Matrix(n, n);
+    gs.atb.assign(n, 0.0);
+  }
+
+  const ColumnAdjacency adj = column_adjacency(system);
   util::parallel_for(jobs, n, [&](std::size_t i) {
     double* gram_row = gs.gram.row_data(i);
-    double ci = 0.0;
-    for (std::size_t slot = offsets[i]; slot < offsets[i + 1]; ++slot) {
-      const SparseRow& row = system.rows[incident[slot]];
+    double ci = gs.atb[i];
+    for (std::size_t slot = adj.offsets[i]; slot < adj.offsets[i + 1];
+         ++slot) {
+      const SparseRow& row = system.rows[adj.incident[slot]];
       const double v2 = row.value * row.value;
       for (std::size_t k = 0; k < row.support_size; ++k) {
         gram_row[row.support[k]] += v2;
@@ -105,10 +122,36 @@ GramSystem sparse_gram(const SparseSystemView& system, std::size_t jobs) {
     gs.atb[i] = ci;
   });
 
-  gs.btb = 0.0;
   for (const SparseRow& row : system.rows) {
     gs.btb += row.y * row.y;
   }
+}
+
+void refresh_gram_rhs(GramSystem& gs, const SparseSystemView& system,
+                      std::size_t jobs) {
+  const std::size_t n = system.cols;
+  TOMO_REQUIRE(gs.gram.rows() == n && gs.gram.cols() == n,
+               "refresh_gram_rhs: gram shape does not match the system");
+  gs.atb.assign(n, 0.0);
+  gs.btb = 0.0;
+  const ColumnAdjacency adj = column_adjacency(system);
+  util::parallel_for(jobs, n, [&](std::size_t i) {
+    double ci = 0.0;
+    for (std::size_t slot = adj.offsets[i]; slot < adj.offsets[i + 1];
+         ++slot) {
+      const SparseRow& row = system.rows[adj.incident[slot]];
+      ci += row.value * -row.y;
+    }
+    gs.atb[i] = ci;
+  });
+  for (const SparseRow& row : system.rows) {
+    gs.btb += row.y * row.y;
+  }
+}
+
+GramSystem sparse_gram(const SparseSystemView& system, std::size_t jobs) {
+  GramSystem gs;
+  accumulate_gram(gs, system, jobs);
   return gs;
 }
 
@@ -161,6 +204,46 @@ LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
   return out;
 }
 
+namespace {
+
+/// ||A x - y|| from the sparse rows (x is the clamped solution).
+double sparse_residual_norm(const SparseSystemView& system, const Vector& x) {
+  double norm = 0.0;
+  for (const SparseRow& row : system.rows) {
+    double ax = 0.0;
+    for (std::size_t k = 0; k < row.support_size; ++k) {
+      ax += x[row.support[k]];
+    }
+    const double r = row.value * ax - row.y;
+    norm += r * r;
+  }
+  return std::sqrt(norm);
+}
+
+/// The shared incremental-NNLS tail of the two sparse entry points: solve
+/// on the (caller- or locally-built) Gram system, clamp, recover the
+/// residual from the rows.
+LogSystemSolution solve_sparse_incremental(const SparseSystemView& system,
+                                           const GramSystem& gs,
+                                           const SolverOptions& options) {
+  NnlsOptions nnls_options;
+  nnls_options.max_iterations = options.max_iterations;
+  nnls_options.tol = options.tol;
+  nnls_options.warm_start = options.warm_start;
+  NnlsResult r = nnls_gram(gs, nnls_options);
+  std::ostringstream detail;
+  describe_nnls(detail, r, NnlsMode::kIncremental);
+  if (!options.warm_start.empty()) {
+    detail << " warm=" << options.warm_start.size();
+  }
+  LogSystemSolution out = finish(std::move(r.x), detail);
+  out.active_set = std::move(r.active_set);
+  out.residual_norm2 = sparse_residual_norm(system, out.x);
+  return out;
+}
+
+}  // namespace
+
 LogSystemSolution solve_log_system(const SparseSystemView& system,
                                    const SolverOptions& options) {
   for (const SparseRow& row : system.rows) {
@@ -168,46 +251,41 @@ LogSystemSolution solve_log_system(const SparseSystemView& system,
                  "solve_log_system: non-finite rhs entry");
   }
 
-  LogSystemSolution out;
   if (options.kind == SolverKind::kNnls &&
       options.nnls_mode == NnlsMode::kIncremental) {
     // The headline path: Gram products straight from the sparse support;
     // the dense incidence matrix never exists.
-    NnlsOptions nnls_options;
-    nnls_options.max_iterations = options.max_iterations;
-    nnls_options.tol = options.tol;
-    const GramSystem gs = sparse_gram(system, options.jobs);
-    NnlsResult r = nnls_gram(gs, nnls_options);
-    std::ostringstream detail;
-    describe_nnls(detail, r, NnlsMode::kIncremental);
-    out = finish(std::move(r.x), detail);
-  } else {
-    // The remaining kinds are row-oriented; materialize a dense copy.
-    Matrix a(system.rows.size(), system.cols);
-    Vector y(system.rows.size());
-    for (std::size_t r = 0; r < system.rows.size(); ++r) {
-      const SparseRow& row = system.rows[r];
-      double* dense = a.row_data(r);
-      for (std::size_t k = 0; k < row.support_size; ++k) {
-        dense[row.support[k]] = row.value;
-      }
-      y[r] = row.y;
-    }
-    return solve_log_system(a, y, options);
+    return solve_sparse_incremental(system, sparse_gram(system, options.jobs),
+                                    options);
   }
-
-  // ||A x - y|| from the sparse rows (x is the clamped solution).
-  double norm = 0.0;
-  for (const SparseRow& row : system.rows) {
-    double ax = 0.0;
+  // The remaining kinds are row-oriented; materialize a dense copy.
+  Matrix a(system.rows.size(), system.cols);
+  Vector y(system.rows.size());
+  for (std::size_t r = 0; r < system.rows.size(); ++r) {
+    const SparseRow& row = system.rows[r];
+    double* dense = a.row_data(r);
     for (std::size_t k = 0; k < row.support_size; ++k) {
-      ax += out.x[row.support[k]];
+      dense[row.support[k]] = row.value;
     }
-    const double r = row.value * ax - row.y;
-    norm += r * r;
+    y[r] = row.y;
   }
-  out.residual_norm2 = std::sqrt(norm);
-  return out;
+  return solve_log_system(a, y, options);
+}
+
+LogSystemSolution solve_log_system(const SparseSystemView& system,
+                                   const GramSystem& gs,
+                                   const SolverOptions& options) {
+  TOMO_REQUIRE(options.kind == SolverKind::kNnls &&
+                   options.nnls_mode == NnlsMode::kIncremental,
+               "solve_log_system(gram): only the incremental NNLS engine "
+               "consumes a caller-held Gram system");
+  TOMO_REQUIRE(gs.gram.cols() == system.cols,
+               "solve_log_system(gram): gram shape does not match the view");
+  for (const SparseRow& row : system.rows) {
+    TOMO_REQUIRE(std::isfinite(row.y) && std::isfinite(row.value),
+                 "solve_log_system: non-finite rhs entry");
+  }
+  return solve_sparse_incremental(system, gs, options);
 }
 
 LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,

@@ -52,6 +52,11 @@ struct SolverOptions {
   /// Worker threads for the sparse Gram build (1 = inline on the caller,
   /// 0 = all hardware cores). The result is bit-identical for any value.
   std::size_t jobs = 1;
+  /// Warm start for the incremental NNLS engine: column indices seeded
+  /// into the passive set (normally the previous window's active_set in a
+  /// streaming solve). Ignored by every other kind/engine; safe to leave
+  /// stale — see NnlsOptions::warm_start.
+  std::vector<std::size_t> warm_start;
 };
 
 /// One equation row viewed sparsely: `value` on every column in
@@ -75,6 +80,9 @@ struct LogSystemSolution {
   Vector x;               // log P(link good), entries <= 0
   double residual_norm2;  // ||A x - y||_2 over the given equations
   std::string detail;     // solver-specific notes (iterations, status)
+  /// Converged NNLS support (incremental engine only), sorted ascending —
+  /// the warm-start seed for the next window of a streaming solve.
+  std::vector<std::size_t> active_set;
 };
 
 /// Solves A x = y with x <= 0 using the requested solver. `y` entries must
@@ -99,5 +107,31 @@ LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,
 /// up to `jobs` workers. Exposed for the solver micro-benchmarks and the
 /// differential suite; entry sums are row-ordered, hence jobs-invariant.
 GramSystem sparse_gram(const SparseSystemView& system, std::size_t jobs);
+
+/// Adds `system`'s Gram contribution on top of `gs` (sizing/zeroing it on
+/// first use). Because every entry's partial sums run in ascending row
+/// order, accumulating any in-order partition of the rows window by window
+/// executes the exact same floating-point addition sequence as one batch
+/// build — the result is *bitwise* equal to sparse_gram over the
+/// concatenated rows, for any split and any jobs value. This is the
+/// streaming path's additive-Gram contract.
+void accumulate_gram(GramSystem& gs, const SparseSystemView& system,
+                     std::size_t jobs);
+
+/// Recomputes only the right-hand-side products (c = A^T b, b^T b) of `gs`
+/// from scratch for `system`'s rows, leaving G untouched. For the
+/// streaming fast path where a window leaves the equation support (hence
+/// G) unchanged but refreshes every y. Same row-ordered, jobs-invariant
+/// sums as a full build.
+void refresh_gram_rhs(GramSystem& gs, const SparseSystemView& system,
+                      std::size_t jobs);
+
+/// Solves with a caller-held Gram system of `system` (incremental NNLS
+/// only — options.kind/nnls_mode must select it). The sparse view is still
+/// needed for the residual; `gs` must match its rows (e.g. built via
+/// accumulate_gram over the same equations).
+LogSystemSolution solve_log_system(const SparseSystemView& system,
+                                   const GramSystem& gs,
+                                   const SolverOptions& options);
 
 }  // namespace tomo::linalg

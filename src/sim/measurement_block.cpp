@@ -44,6 +44,73 @@ void MeasurementBlock::recount() {
   }
 }
 
+void MeasurementBlock::append(const MeasurementBlock& window) {
+  TOMO_REQUIRE(!window.empty(), "cannot append an empty measurement window");
+  if (empty()) {
+    *this = window;
+    return;
+  }
+  TOMO_REQUIRE(window.path_count == path_count,
+               "appended window has a different path count");
+
+  const std::size_t old_count = snapshot_count;
+  const std::size_t old_words = words_per_path();
+  const std::size_t window_words = window.words_per_path();
+  const std::size_t new_count = old_count + window.snapshot_count;
+  const std::size_t new_words = (new_count + 63) / 64;
+  const std::size_t base = old_count / 64;
+  const unsigned shift = static_cast<unsigned>(old_count % 64);
+
+  std::vector<std::uint64_t> merged(path_count * new_words, 0);
+  for (PathId p = 0; p < path_count; ++p) {
+    const std::uint64_t* old_row = good_bits.data() + p * old_words;
+    const std::uint64_t* win_row = window.good_row(p);
+    std::uint64_t* row = merged.data() + p * new_words;
+    for (std::size_t w = 0; w < old_words; ++w) row[w] = old_row[w];
+    for (std::size_t w = 0; w < window_words; ++w) {
+      const std::uint64_t v = win_row[w];
+      row[base + w] |= v << shift;
+      // The spill of the high bits into the next word; absent when the old
+      // block ended on a word boundary (v >> 64 would be undefined).
+      if (shift != 0 && base + w + 1 < new_words) {
+        row[base + w + 1] |= v >> (64 - shift);
+      }
+    }
+    good_counts[p] += window.good_counts[p];
+  }
+  good_bits = std::move(merged);
+  snapshot_count = new_count;
+}
+
+MeasurementBlock MeasurementBlock::slice(std::size_t first,
+                                         std::size_t count) const {
+  TOMO_REQUIRE(count > 0, "cannot slice an empty snapshot range");
+  TOMO_REQUIRE(first + count <= snapshot_count,
+               "slice range exceeds the block's snapshots");
+  MeasurementBlock out;
+  out.path_count = path_count;
+  out.snapshot_count = count;
+  const std::size_t src_words = words_per_path();
+  const std::size_t out_words = out.words_per_path();
+  const std::size_t base = first / 64;
+  const unsigned shift = static_cast<unsigned>(first % 64);
+  out.good_bits.resize(path_count * out_words);
+  for (PathId p = 0; p < path_count; ++p) {
+    const std::uint64_t* src = good_row(p);
+    std::uint64_t* dst = out.good_bits.data() + p * out_words;
+    for (std::size_t w = 0; w < out_words; ++w) {
+      std::uint64_t v = src[base + w] >> shift;
+      if (shift != 0 && base + w + 1 < src_words) {
+        v |= src[base + w + 1] << (64 - shift);
+      }
+      dst[w] = v;
+    }
+    dst[out_words - 1] &= out.word_mask(out_words - 1);
+  }
+  out.recount();
+  return out;
+}
+
 MeasurementBlock MeasurementBlock::from_observations(
     const PathObservations& obs) {
   MeasurementBlock block;

@@ -50,6 +50,17 @@ struct MeasurementBlock {
   /// Recomputes good_counts from good_bits (after direct bit writes).
   void recount();
 
+  /// Splices `window` onto the end of this block (same path set; snapshot
+  /// n of the window becomes snapshot snapshot_count + n here). Appending
+  /// to an empty block copies the window. Bit-exact for any split: a block
+  /// rebuilt by appending its own slices in order is identical, words,
+  /// tail bits and counts included — the streaming ingestion contract.
+  void append(const MeasurementBlock& window);
+
+  /// Extracts snapshots [first, first + count) as a standalone block
+  /// (tail bits cleared, counts recomputed).
+  MeasurementBlock slice(std::size_t first, std::size_t count) const;
+
   /// Exact complement conversions (tail handling included).
   static MeasurementBlock from_observations(const PathObservations& obs);
   PathObservations to_observations() const;

@@ -82,12 +82,51 @@ PathObservations read_observations(std::istream& is) {
   return *std::move(obs);
 }
 
+void write_observations(std::ostream& os, const MeasurementBlock& block) {
+  TOMO_REQUIRE(!block.empty(), "cannot serialize an empty measurement block");
+  os << "tomo-observations v1\n";
+  os << "paths " << block.path_count << " snapshots " << block.snapshot_count
+     << '\n';
+  for (PathId p = 0; p < block.path_count; ++p) {
+    const std::uint64_t* good = block.good_row(p);
+    bool any = false;
+    for (std::size_t n = 0; n < block.snapshot_count; ++n) {
+      // Congested = the good bit is clear (exact complement of the rows).
+      if ((good[n / 64] >> (n % 64)) & 1) continue;
+      if (!any) {
+        os << "congested " << p;
+        any = true;
+      }
+      os << ' ' << n;
+    }
+    if (any) os << '\n';
+  }
+}
+
+MeasurementBlock read_observation_block(std::istream& is) {
+  return MeasurementBlock::from_observations(read_observations(is));
+}
+
 void save_observations(const std::string& filename,
                        const PathObservations& obs) {
   std::ofstream os(filename);
   TOMO_REQUIRE(os.good(), "cannot open " + filename + " for writing");
   write_observations(os, obs);
   TOMO_REQUIRE(os.good(), "failed writing " + filename);
+}
+
+void save_observations(const std::string& filename,
+                       const MeasurementBlock& block) {
+  std::ofstream os(filename);
+  TOMO_REQUIRE(os.good(), "cannot open " + filename + " for writing");
+  write_observations(os, block);
+  TOMO_REQUIRE(os.good(), "failed writing " + filename);
+}
+
+MeasurementBlock load_observation_block(const std::string& filename) {
+  std::ifstream is(filename);
+  TOMO_REQUIRE(is.good(), "cannot open " + filename);
+  return read_observation_block(is);
 }
 
 PathObservations load_observations(const std::string& filename) {

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "sim/measurement_block.hpp"
 #include "sim/snapshot.hpp"
 
 namespace tomo::sim {
@@ -24,5 +25,16 @@ PathObservations read_observations(std::istream& is);
 void save_observations(const std::string& filename,
                        const PathObservations& obs);
 PathObservations load_observations(const std::string& filename);
+
+/// MeasurementBlock overloads: byte-identical file output to the
+/// PathObservations writer on the equivalent data (observations are the
+/// exact bit complement of the good-bit rows, ragged tails included), so
+/// simulator output and daemon replay inputs round-trip bit-for-bit.
+void write_observations(std::ostream& os, const MeasurementBlock& block);
+MeasurementBlock read_observation_block(std::istream& is);
+
+void save_observations(const std::string& filename,
+                       const MeasurementBlock& block);
+MeasurementBlock load_observation_block(const std::string& filename);
 
 }  // namespace tomo::sim

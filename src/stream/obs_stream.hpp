@@ -1,0 +1,87 @@
+// Wire format of the streaming daemon: windowed path observations.
+//
+// A tail-able, line-oriented extension of the classic obs-IO format
+// (sim/obs_io.hpp): observations arrive as self-delimited windows, so a
+// consumer can act on each window the moment its `end` marker lands while
+// the producer keeps appending. '#' comments allowed anywhere.
+//
+//   tomo-obs-stream v1
+//   paths <P>
+//   window <N>                       # N snapshots follow
+//   congested <path-id> <snap-id>...   # snap ids relative to the window
+//   end
+//   window <N> ...                   # any number of windows
+//   close                            # optional: no more windows, ever
+//
+// ObsStreamReader also accepts a complete classic `tomo-observations v1`
+// file and yields it as one big window — the replay path: the daemon
+// re-slices it into its own window schedule. EOF without `close` is not an
+// error, merely "nothing more yet": the reader keeps partial lines
+// buffered, so a caller tailing a growing file can clear() the stream and
+// call next() again after more bytes arrive.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/measurement_block.hpp"
+
+namespace tomo::stream {
+
+class ObsStreamWriter {
+ public:
+  /// Writes the stream header immediately.
+  ObsStreamWriter(std::ostream& os, std::size_t path_count);
+
+  /// Appends one window (flushes, so a tailing consumer sees it whole).
+  void write_window(const sim::MeasurementBlock& window);
+
+  /// Appends the `close` marker. No windows may follow.
+  void close();
+
+ private:
+  std::ostream& os_;
+  std::size_t path_count_;
+  bool closed_ = false;
+};
+
+class ObsStreamReader {
+ public:
+  explicit ObsStreamReader(std::istream& is);
+
+  /// The next complete window, in stream order; nullopt when the stream
+  /// has no complete window buffered (EOF mid-stream — retryable — or
+  /// after `close`/a delivered batch file).
+  std::optional<sim::MeasurementBlock> next();
+
+  /// True once no further window can ever arrive (`close` marker seen, or
+  /// the single window of a classic batch file was delivered).
+  bool finished() const { return closed_; }
+
+  /// True when the header identified a classic complete observation file
+  /// (meaningful once a header line has been consumed).
+  bool batch_format() const { return batch_; }
+
+  /// 0 until the dimension line has been parsed.
+  std::size_t path_count() const { return paths_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  bool parse_line(std::string line);  // true when a window just completed
+
+  std::istream& is_;
+  std::size_t line_no_ = 0;
+  std::string carry_;  // partial (unterminated) trailing line, tail mode
+  bool have_header_ = false;
+  bool batch_ = false;
+  bool closed_ = false;
+  std::size_t paths_ = 0;
+
+  // Window under construction (stream mode) or the whole file (batch).
+  std::optional<sim::MeasurementBlock> pending_;
+  bool pending_ready_ = false;
+};
+
+}  // namespace tomo::stream

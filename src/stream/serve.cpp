@@ -1,0 +1,140 @@
+#include "stream/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "metrics/error_metrics.hpp"
+#include "stream/obs_stream.hpp"
+#include "stream/window_ring.hpp"
+#include "util/error.hpp"
+
+namespace tomo::stream {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string window_json(const WindowEstimate& estimate, double mean_err) {
+  std::string out = "{\"window\":" + std::to_string(estimate.window);
+  out += ",\"snapshots\":" + std::to_string(estimate.snapshots);
+  out += ",\"usable\":";
+  out += estimate.usable ? "true" : "false";
+  if (estimate.usable) {
+    const core::InferenceResult& inf = estimate.inference;
+    out += ",\"equations\":" + std::to_string(inf.system.equations.size());
+    out += ",\"rank\":" + std::to_string(inf.system.rank);
+    out += ",\"active\":" + std::to_string(inf.active_set.size());
+    out += ",\"refined\":" + std::to_string(inf.refined_links.size());
+    out += ",\"gram_reused\":";
+    out += estimate.gram_reused ? "true" : "false";
+    out += ",\"warm_started\":";
+    out += estimate.warm_started ? "true" : "false";
+    out += ",\"solver\":\"" + inf.solver_detail + "\"";
+    if (mean_err >= 0.0) {
+      out += ",\"mean_err\":";
+      append_double(out, mean_err);
+    }
+    out += ",\"estimate\":[";
+    for (std::size_t k = 0; k < inf.congestion_prob.size(); ++k) {
+      if (k) out += ',';
+      append_double(out, inf.congestion_prob[k]);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+ServeReport serve(std::istream& input, std::ostream& output,
+                  const graph::Graph& g,
+                  const std::vector<graph::Path>& paths,
+                  const corr::CorrelationSets& declared,
+                  const ServeOptions& options) {
+  WindowRing ring(options.ring_capacity);
+  std::exception_ptr producer_error;
+
+  // Producer: tail the input and feed the ring. The reader is touched by
+  // this thread only.
+  std::thread producer([&] {
+    try {
+      ObsStreamReader reader(input);
+      for (;;) {
+        std::optional<sim::MeasurementBlock> window = reader.next();
+        if (window.has_value()) {
+          if (reader.batch_format()) {
+            // A complete classic file: re-slice it into our schedule.
+            for (sim::MeasurementBlock& slice :
+                 split_windows(*window, options.window_snapshots)) {
+              if (!ring.push(std::move(slice))) break;
+            }
+            break;
+          }
+          if (!ring.push(std::move(*window))) break;
+          continue;
+        }
+        if (reader.finished()) break;
+        if (options.poll_ms <= 0) break;
+        input.clear();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.poll_ms));
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    ring.close();
+  });
+
+  ServeReport report;
+  StreamingInference inference(g, paths, declared, options.streaming);
+  while (std::optional<sim::MeasurementBlock> window = ring.pop()) {
+    const WindowEstimate estimate = inference.push_window(*window);
+    ++report.windows;
+    report.snapshots = estimate.snapshots;
+    report.total_seconds += estimate.seconds;
+    report.max_window_seconds =
+        std::max(report.max_window_seconds, estimate.seconds);
+
+    double mean_err = -1.0;
+    if (estimate.usable) {
+      ++report.usable_windows;
+      if (options.truth != nullptr) {
+        const std::vector<std::size_t> population =
+            core::potentially_congested_links(paths,
+                                              inference.measurement());
+        const std::vector<double> errors = metrics::absolute_errors(
+            *options.truth, estimate.inference.congestion_prob, population);
+        if (!errors.empty()) {
+          double sum = 0.0;
+          for (double e : errors) sum += e;
+          mean_err = sum / static_cast<double>(errors.size());
+        }
+      }
+    }
+    report.last_mean_err = mean_err;
+    output << window_json(estimate, mean_err) << '\n';
+    output.flush();
+    if (options.max_windows != 0 && report.windows >= options.max_windows) {
+      break;
+    }
+  }
+  ring.close();  // unblocks a producer stuck in push after max_windows
+  producer.join();
+  if (producer_error) std::rethrow_exception(producer_error);
+  return report;
+}
+
+}  // namespace tomo::stream

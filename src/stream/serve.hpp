@@ -1,0 +1,64 @@
+// The daemon's event loop: tail an observation stream, re-estimate per
+// window, emit one JSON line each.
+//
+// Two threads around a WindowRing (the engine/queue split): the producer
+// tails the input — a growing `tomo-obs-stream` file/pipe or a complete
+// classic observation file, which it re-slices into the configured window
+// schedule — and the consumer (the caller's thread) runs
+// StreamingInference and prints. The JSON protocol is deliberately free of
+// timings and other nondeterminism, so two runs over the same input are
+// byte-identical for any --jobs; latency telemetry lives in the returned
+// ServeReport instead.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "corr/correlation.hpp"
+#include "graph/graph.hpp"
+#include "graph/path.hpp"
+#include "stream/streaming_inference.hpp"
+
+namespace tomo::stream {
+
+struct ServeOptions {
+  StreamingOptions streaming;
+  /// Window schedule when the input is a complete classic observation
+  /// file (stream-format inputs carry their own window boundaries).
+  std::size_t window_snapshots = 256;
+  std::size_t ring_capacity = 8;
+  /// Tail mode: when > 0 and the input hits EOF without a close marker,
+  /// retry every poll_ms milliseconds instead of stopping.
+  long poll_ms = 0;
+  /// Stop after this many windows (0 = until the stream closes).
+  std::size_t max_windows = 0;
+  /// Optional per-link true marginals: adds a "mean_err" field per window
+  /// (mean absolute error over the potentially congested links so far).
+  const std::vector<double>* truth = nullptr;
+};
+
+struct ServeReport {
+  std::size_t windows = 0;         // windows ingested
+  std::size_t usable_windows = 0;  // windows with a solved estimate
+  std::size_t snapshots = 0;       // cumulative snapshots ingested
+  double total_seconds = 0.0;      // sum of per-window update times
+  double max_window_seconds = 0.0;
+  double last_mean_err = -1.0;     // final window's mean_err (-1 = n/a)
+};
+
+/// One line of the daemon's stdout protocol (no trailing newline).
+/// `mean_err` < 0 omits the field. Doubles print with %.17g, so equal bits
+/// give equal bytes — the cross-jobs identity contract.
+std::string window_json(const WindowEstimate& estimate, double mean_err);
+
+/// Runs the loop until the stream closes (or max_windows). Reader errors
+/// and inference errors propagate as tomo::Error.
+ServeReport serve(std::istream& input, std::ostream& output,
+                  const graph::Graph& g,
+                  const std::vector<graph::Path>& paths,
+                  const corr::CorrelationSets& declared,
+                  const ServeOptions& options);
+
+}  // namespace tomo::stream

@@ -1,0 +1,36 @@
+#include "stream/stream_spec.hpp"
+
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tomo::stream {
+
+StreamSpec::StreamRun StreamSpec::run(const core::TrialContext& ctx) const {
+  StreamRun out;
+  out.instance = core::build_scenario(trial.scenario_for(ctx));
+
+  const core::ExperimentConfig config = trial.experiment_for(ctx);
+  const Stopwatch sim_timer;
+  sim::SimulationResult sim_result =
+      sim::simulate(out.instance.graph, out.instance.paths,
+                    *out.instance.truth, config.sim);
+  out.sim_seconds = sim_timer.seconds();
+
+  StreamingOptions options;
+  options.inference = config.inference;
+  options.warm_start = warm_start;
+  options.reuse_gram = reuse_gram;
+  StreamingInference inference(out.instance.graph, out.instance.paths,
+                               out.instance.declared_sets, options);
+  for (const sim::MeasurementBlock& window :
+       split_windows(sim_result.measurement, window_snapshots)) {
+    out.estimates.push_back(inference.push_window(window));
+  }
+  out.potentially_congested = core::potentially_congested_links(
+      out.instance.paths, inference.measurement());
+  return out;
+}
+
+}  // namespace tomo::stream

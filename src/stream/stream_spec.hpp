@@ -1,0 +1,44 @@
+// The resolved per-trial *streaming* specification — TrialSpec's twin.
+//
+// A StreamSpec wraps a TrialSpec (scenario + simulator + inference, with
+// the same seed-tag derivation, so the simulated snapshots are bit-equal
+// to the batch trial's) and adds the streaming schedule: the full snapshot
+// block is sliced into `window_snapshots`-sized windows (ragged tail
+// included) and replayed through StreamingInference, yielding one estimate
+// per window. The final window's estimate therefore targets exactly the
+// batch TrialSpec::run answer — the equivalence the test tier pins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trial_spec.hpp"
+#include "stream/streaming_inference.hpp"
+
+namespace tomo::stream {
+
+struct StreamSpec {
+  /// The underlying batch trial (scenario, sim knobs, inference, seed
+  /// tags). Streaming never perturbs its seed derivation.
+  core::TrialSpec trial;
+  /// Snapshots per window; the final window takes the remainder.
+  std::size_t window_snapshots = 256;
+  bool warm_start = true;
+  bool reuse_gram = true;
+
+  struct StreamRun {
+    core::ScenarioInstance instance;
+    /// One estimate per window, in arrival order (estimates[k] covers the
+    /// first (k+1) windows' snapshots).
+    std::vector<WindowEstimate> estimates;
+    /// Metric population over the full trace (for error scoring).
+    std::vector<std::size_t> potentially_congested;
+    double sim_seconds = 0.0;
+  };
+
+  /// One full streamed trial: build the scenario, simulate every
+  /// snapshot, then replay the block window by window.
+  StreamRun run(const core::TrialContext& ctx) const;
+};
+
+}  // namespace tomo::stream

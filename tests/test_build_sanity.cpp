@@ -1,5 +1,5 @@
 // Pins the inter-target link graph: instantiates one object from each of
-// the eight library layers, so a future layering break (a layer dropped
+// the nine library layers, so a future layering break (a layer dropped
 // from the umbrella target, a missing inter-layer link dependency) fails
 // this suite before anything subtler does.
 #include <gtest/gtest.h>
@@ -10,6 +10,7 @@
 #include "linalg/matrix.hpp"
 #include "metrics/cdf.hpp"
 #include "sim/snapshot.hpp"
+#include "stream/window_ring.hpp"
 #include "topogen/waxman.hpp"
 #include "util/rng.hpp"
 
@@ -59,6 +60,11 @@ TEST(BuildSanity, MetricsLayerLinks) {
 TEST(BuildSanity, CoreLayerLinks) {
   tomo::core::ScenarioConfig config;
   EXPECT_GT(config.as_nodes, 0u);
+}
+
+TEST(BuildSanity, StreamLayerLinks) {
+  tomo::stream::WindowRing ring(2);
+  EXPECT_EQ(ring.capacity(), 2u);
 }
 
 }  // namespace

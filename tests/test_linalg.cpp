@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "linalg/cholesky.hpp"
 #include "linalg/irls.hpp"
@@ -569,6 +573,107 @@ TEST(Solvers, RejectsNonFiniteRhs) {
   EXPECT_THROW(
       solve_log_system(a, {std::numeric_limits<double>::quiet_NaN()}),
       Error);
+}
+
+// -------------------------------------------- windowed Gram pipeline ----
+
+/// A random 0/1-support sparse system with owned index storage (what the
+/// core equation harvest hands the solver, minus the harvest).
+struct OwnedSparseSystem {
+  std::vector<std::vector<std::size_t>> supports;
+  SparseSystemView view;
+};
+
+OwnedSparseSystem random_sparse_system(std::size_t rows, std::size_t cols,
+                                       std::uint64_t seed) {
+  OwnedSparseSystem out;
+  out.view.cols = cols;
+  Rng rng(seed);
+  out.supports.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::size_t> support;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (rng.uniform() < 0.3) support.push_back(j);
+    }
+    if (support.empty()) support.push_back(i % cols);
+    out.supports.push_back(std::move(support));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    SparseRow row;
+    row.support = out.supports[i].data();
+    row.support_size = out.supports[i].size();
+    row.value = 0.25 + rng.uniform();
+    row.y = -rng.uniform();
+    out.view.rows.push_back(row);
+  }
+  return out;
+}
+
+void expect_gram_bits_equal(const GramSystem& a, const GramSystem& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.gram.rows(), b.gram.rows()) << what;
+  for (std::size_t i = 0; i < a.gram.rows(); ++i) {
+    for (std::size_t j = 0; j < a.gram.cols(); ++j) {
+      ASSERT_EQ(a.gram(i, j), b.gram(i, j))
+          << what << " gram(" << i << "," << j << ")";
+    }
+  }
+  ASSERT_EQ(a.atb.size(), b.atb.size()) << what;
+  for (std::size_t j = 0; j < a.atb.size(); ++j) {
+    ASSERT_EQ(a.atb[j], b.atb[j]) << what << " atb[" << j << "]";
+  }
+  ASSERT_EQ(a.btb, b.btb) << what;
+}
+
+/// The streaming contract: accumulating any consecutive row partition —
+/// window by window, into the same GramSystem — is *bitwise* equal to the
+/// once-per-solve batch build, because every per-entry reduction runs in
+/// ascending row order regardless of how the rows arrive.
+TEST(Solvers, WindowedGramAccumulationIsBitwiseBatchEqual) {
+  for (const std::uint64_t seed : {1ul, 2ul, 3ul}) {
+    const OwnedSparseSystem sys = random_sparse_system(60, 17, seed);
+    const GramSystem batch = sparse_gram(sys.view, 1);
+
+    for (const std::size_t window : {1ul, 7ul, 13ul, 60ul, 100ul}) {
+      GramSystem accumulated;
+      for (std::size_t first = 0; first < sys.view.rows.size();
+           first += window) {
+        SparseSystemView chunk;
+        chunk.cols = sys.view.cols;
+        const std::size_t last =
+            std::min(first + window, sys.view.rows.size());
+        chunk.rows.assign(sys.view.rows.begin() + first,
+                          sys.view.rows.begin() + last);
+        accumulate_gram(accumulated, chunk, 1);
+      }
+      expect_gram_bits_equal(accumulated, batch,
+                             "seed=" + std::to_string(seed) +
+                                 " window=" + std::to_string(window));
+    }
+  }
+}
+
+TEST(Solvers, GramAccumulationIsJobsInvariant) {
+  const OwnedSparseSystem sys = random_sparse_system(80, 23, 0x9e);
+  const GramSystem serial = sparse_gram(sys.view, 1);
+  const GramSystem parallel = sparse_gram(sys.view, 3);
+  expect_gram_bits_equal(serial, parallel, "jobs 1 vs 3");
+}
+
+/// refresh_gram_rhs rebuilds only atb/btb (the per-window right-hand
+/// side) and must restore the exact accumulate_gram bits while leaving
+/// the reused G = A^T A untouched.
+TEST(Solvers, RefreshGramRhsRestoresExactBits) {
+  const OwnedSparseSystem sys = random_sparse_system(40, 11, 0x42);
+  const GramSystem batch = sparse_gram(sys.view, 1);
+
+  GramSystem scribbled = batch;
+  for (std::size_t j = 0; j < scribbled.atb.size(); ++j) {
+    scribbled.atb[j] = 1e9 + static_cast<double>(j);
+  }
+  scribbled.btb = -1.0;
+  refresh_gram_rhs(scribbled, sys.view, 1);
+  expect_gram_bits_equal(scribbled, batch, "refreshed rhs");
 }
 
 }  // namespace

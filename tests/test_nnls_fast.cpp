@@ -11,6 +11,7 @@
 // CI byte-identity checks rely on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -20,6 +21,7 @@
 #include "core/scenario.hpp"
 #include "core/scenario_catalog.hpp"
 #include "graph/coverage.hpp"
+#include "linalg/nnls.hpp"
 #include "linalg/solvers.hpp"
 #include "sim/measurement.hpp"
 #include "sim/simulator.hpp"
@@ -180,6 +182,122 @@ TEST(NnlsFast, SparseGramMatchesDenseGramBitwise) {
     }
     EXPECT_EQ(sparse.atb, dense.atb) << "jobs " << jobs;
     EXPECT_EQ(sparse.btb, dense.btb) << "jobs " << jobs;
+  }
+}
+
+// ------------------------------------------------- NNLS warm start ----
+
+/// Deliberately stale seed: the cold active set with every third column
+/// dropped — what the previous window hands the next one after part of
+/// the support shifts. (Injecting *arbitrary* extra columns is not tested
+/// against x-equality here: the worm scenarios carry duplicate columns,
+/// and seeding one twin instead of the other selects a different — equally
+/// optimal — vertex of the degenerate face. WarmStartSurvivesJunkSeeds
+/// covers injection on a well-posed problem.)
+std::vector<std::size_t> perturb_seed(const std::vector<std::size_t>& cold) {
+  std::vector<std::size_t> seed;
+  for (std::size_t k = 0; k < cold.size(); ++k) {
+    if (k % 3 != 2) seed.push_back(cold[k]);
+  }
+  return seed;
+}
+
+class RegistryWarmStart : public ::testing::TestWithParam<std::string> {};
+
+/// Seeding kIncremental from the previous active set — exact or perturbed
+/// — must converge to the same optimum as a cold solve, with the
+/// refactorization telemetry staying bounded and the warm climb never
+/// longer than the cold one.
+///
+/// "Same optimum" is graded: with the exact seed the same support and the
+/// same x to solver tolerance; with a perturbed seed the same *fitted*
+/// quantities (residual norm and G·x, which are unique over the optimal
+/// set even when the system is rank-deficient — the worm scenarios carry
+/// duplicate columns, so x itself can differ between equally optimal
+/// vertices when the seed withholds one twin).
+TEST_P(RegistryWarmStart, PerturbedSeedReachesTheColdOptimum) {
+  ScenarioConfig config =
+      shrink_for_tests(ScenarioCatalog::instance().at(GetParam()).config);
+  config.seed = 0x3a77;
+  const PreparedSystem p = prepare(config, 0x3a7700);
+  const linalg::GramSystem gs =
+      linalg::sparse_gram(sparse_view(p.correlation), 1);
+
+  const linalg::NnlsResult cold = linalg::nnls_gram(gs);
+  ASSERT_TRUE(cold.converged) << GetParam();
+  ASSERT_FALSE(cold.active_set.empty()) << GetParam();
+
+  double scale = 1.0;
+  for (double v : cold.x) scale = std::max(scale, std::abs(v));
+
+  const auto gram_times = [&](const linalg::Vector& x) {
+    linalg::Vector out(gs.gram.rows(), 0.0);
+    for (std::size_t i = 0; i < gs.gram.rows(); ++i) {
+      for (std::size_t j = 0; j < gs.gram.cols(); ++j) {
+        out[i] += gs.gram(i, j) * x[j];
+      }
+    }
+    return out;
+  };
+  const linalg::Vector cold_fit = gram_times(cold.x);
+
+  linalg::NnlsOptions options;
+  for (const bool exact_seed : {true, false}) {
+    options.warm_start = exact_seed
+                             ? cold.active_set
+                             : perturb_seed(cold.active_set);
+    const linalg::NnlsResult warm = linalg::nnls_gram(gs, options);
+    const std::string what =
+        GetParam() + (exact_seed ? " exact seed" : " perturbed seed");
+    ASSERT_TRUE(warm.converged) << what;
+    if (exact_seed) {
+      EXPECT_EQ(warm.active_set, cold.active_set) << what;
+      for (std::size_t j = 0; j < cold.x.size(); ++j) {
+        EXPECT_NEAR(warm.x[j], cold.x[j], 1e-8 * scale)
+            << what << ": column " << j;
+      }
+    }
+    EXPECT_NEAR(warm.residual_norm, cold.residual_norm, 1e-8 * scale)
+        << what;
+    const linalg::Vector warm_fit = gram_times(warm.x);
+    for (std::size_t i = 0; i < cold_fit.size(); ++i) {
+      EXPECT_NEAR(warm_fit[i], cold_fit[i], 1e-6 * scale)
+          << what << ": fitted component " << i;
+    }
+    // Telemetry: the factor edits stay condition-safe (no refactorize
+    // storm) and the outer climb is no longer than the cold one.
+    EXPECT_LE(warm.refactorizations, cold.refactorizations + 1) << what;
+    EXPECT_LE(warm.iterations, cold.iterations) << what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, RegistryWarmStart,
+    ::testing::ValuesIn(ScenarioCatalog::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(NnlsFast, WarmStartSurvivesJunkSeeds) {
+  // A tiny well-posed problem; the seed mixes duplicates, out-of-range
+  // columns, and the whole column space. Documented contract: a stale
+  // seed is always safe, the optimum is unchanged.
+  const linalg::Matrix a{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}};
+  const linalg::Vector b{1.0, 2.0, 0.5, 3.0};
+  const linalg::GramSystem gs = linalg::make_gram(a, b);
+  const linalg::NnlsResult cold = linalg::nnls_gram(gs);
+
+  linalg::NnlsOptions options;
+  options.warm_start = {2, 2, 0, 99, 1, 0};
+  const linalg::NnlsResult warm = linalg::nnls_gram(gs, options);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_EQ(warm.active_set, cold.active_set);
+  for (std::size_t j = 0; j < cold.x.size(); ++j) {
+    EXPECT_NEAR(warm.x[j], cold.x[j], 1e-12) << "column " << j;
   }
 }
 

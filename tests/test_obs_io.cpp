@@ -87,6 +87,45 @@ TEST(ObsIo, RejectsMalformedInput) {
   }
 }
 
+// The SimulationResult::observations() / obs-IO asymmetry fix: the
+// bitmask block now writes and re-reads directly, so daemon replay inputs
+// are trustworthy without a PathObservations detour.
+TEST(ObsIo, MeasurementBlockRoundTripIsBitIdentical) {
+  auto sys = tomo::testing::figure_1a();
+  auto model = tomo::testing::figure_1a_model(sys.sets);
+  SimulatorConfig config;
+  config.snapshots = 197;  // ragged tail word: 197 = 3*64 + 5
+  config.seed = 11;
+  const auto result = simulate(sys.graph, sys.paths, *model, config);
+  const MeasurementBlock& block = result.measurement;
+
+  std::stringstream buffer;
+  write_observations(buffer, block);
+  const MeasurementBlock loaded = read_observation_block(buffer);
+  ASSERT_EQ(loaded.path_count, block.path_count);
+  ASSERT_EQ(loaded.snapshot_count, block.snapshot_count);
+  EXPECT_EQ(loaded.good_bits, block.good_bits)
+      << "tail words included, bit for bit";
+  EXPECT_EQ(loaded.good_counts, block.good_counts);
+}
+
+TEST(ObsIo, BlockWriterMatchesObservationWriterByteForByte) {
+  auto sys = tomo::testing::figure_1a();
+  auto model = tomo::testing::figure_1a_model(sys.sets);
+  SimulatorConfig config;
+  config.snapshots = 130;
+  config.seed = 12;
+  const auto result = simulate(sys.graph, sys.paths, *model, config);
+
+  // The block writer complements bits inline; the observation writer
+  // walks the congested-bit view. Same file either way.
+  std::stringstream from_block;
+  write_observations(from_block, result.measurement);
+  std::stringstream from_obs;
+  write_observations(from_obs, result.observations());
+  EXPECT_EQ(from_block.str(), from_obs.str());
+}
+
 TEST(ObsIo, IgnoresCommentsAndBlankLines) {
   std::stringstream s(
       "# recorded by prober\n\ntomo-observations v1\n"
