@@ -29,45 +29,50 @@ int main(int argc, char** argv) {
                "(same stationary marginals; 10% congested, PlanetLab)\n";
   const core::TrialSpec base =
       bench::resolve_trial_spec(s, 0xb0, core::TopologyKind::kPlanetLab);
-  for (const double burst : {1.0, 4.0, 16.0, 64.0}) {
-    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::TrialSpec spec = base;
-      spec.scenario.congested_fraction = 0.10;
-      const auto inst = core::build_scenario(spec.scenario_for(ctx));
+  const std::vector<double> bursts{1.0, 4.0, 16.0, 64.0};
+  const auto swept = run.sweep(
+      bursts.size(), [&](std::size_t point, const core::TrialContext& ctx) {
+        const double burst = bursts[point];
+        core::TrialSpec spec = base;
+        spec.scenario.congested_fraction = 0.10;
+        const auto inst = core::build_scenario(spec.scenario_for(ctx));
 
-      // Rebuild the scenario's shock model as a Gilbert model with the
-      // same marginals: bursty where the original was correlated.
-      std::vector<double> congested_marginals;
-      congested_marginals.reserve(inst.congested_links.size());
-      for (graph::LinkId e : inst.congested_links) {
-        congested_marginals.push_back(inst.true_marginals[e]);
-      }
-      const auto truth_ptr = corr::make_clustered_gilbert_model(
-          inst.declared_sets, inst.congested_links, congested_marginals,
-          spec.scenario.correlation_strength, burst);
-      const corr::GilbertShockModel& truth = *truth_ptr;
+        // Rebuild the scenario's shock model as a Gilbert model with the
+        // same marginals: bursty where the original was correlated.
+        std::vector<double> congested_marginals;
+        congested_marginals.reserve(inst.congested_links.size());
+        for (graph::LinkId e : inst.congested_links) {
+          congested_marginals.push_back(inst.true_marginals[e]);
+        }
+        const auto truth_ptr = corr::make_clustered_gilbert_model(
+            inst.declared_sets, inst.congested_links, congested_marginals,
+            spec.scenario.correlation_strength, burst);
+        const corr::GilbertShockModel& truth = *truth_ptr;
 
-      const core::ExperimentConfig config = spec.experiment_for(ctx);
-      const graph::CoverageIndex coverage(inst.graph, inst.paths);
-      auto simr = sim::simulate(inst.graph, inst.paths, truth, config.sim);
-      const sim::EmpiricalMeasurement meas(std::move(simr.measurement));
-      const auto rc = core::infer_congestion(
-          inst.graph, inst.paths, coverage, inst.declared_sets, meas);
-      const auto ri = core::infer_congestion_independent(
-          inst.graph, inst.paths, coverage, meas);
-      const auto truth_marginals = truth.marginals();
-      return std::pair(
-          mean(metrics::absolute_errors(truth_marginals, rc.congestion_prob,
-                                        {})),
-          mean(metrics::absolute_errors(truth_marginals, ri.congestion_prob,
-                                        {})));
-    });
+        const core::ExperimentConfig config = spec.experiment_for(ctx);
+        const graph::CoverageIndex coverage(inst.graph, inst.paths);
+        auto simr =
+            sim::simulate(inst.graph, inst.paths, truth, config.sim);
+        const sim::EmpiricalMeasurement meas(std::move(simr.measurement));
+        const auto rc = core::infer_congestion(
+            inst.graph, inst.paths, coverage, inst.declared_sets, meas);
+        const auto ri = core::infer_congestion_independent(
+            inst.graph, inst.paths, coverage, meas);
+        const auto truth_marginals = truth.marginals();
+        return std::pair(
+            mean(metrics::absolute_errors(truth_marginals,
+                                          rc.congestion_prob, {})),
+            mean(metrics::absolute_errors(truth_marginals,
+                                          ri.congestion_prob, {})));
+      });
+  for (std::size_t point = 0; point < bursts.size(); ++point) {
     double corr_sum = 0.0, ind_sum = 0.0;
-    for (const auto& outcome : outcomes) {
+    for (const auto& outcome : swept[point]) {
       corr_sum += outcome.value.first;
       ind_sum += outcome.value.second;
     }
-    table.add_row({Table::fmt(burst, 0), Table::fmt(corr_sum / s.trials),
+    table.add_row({Table::fmt(bursts[point], 0),
+                   Table::fmt(corr_sum / s.trials),
                    Table::fmt(ind_sum / s.trials)});
   }
   run.table("ablation_burstiness", table);

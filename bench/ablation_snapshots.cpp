@@ -21,22 +21,24 @@ int main(int argc, char** argv) {
                "correlation, Brite)\n";
   const core::TrialSpec base =
       bench::resolve_trial_spec(s, 0xab30, core::TopologyKind::kBrite);
-  for (const std::size_t snapshots : {125u, 250u, 500u, 1000u, 2000u,
-                                      4000u}) {
-    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::TrialSpec spec = base;
-      spec.scenario.congested_fraction = 0.10;
-      spec.sim.snapshots = snapshots;
-      const auto trial = spec.run(ctx);
-      return std::pair(mean(trial.result.correlation_errors()),
-                       mean(trial.result.independence_errors()));
-    });
+  const std::vector<std::size_t> counts{125u, 250u, 500u, 1000u, 2000u,
+                                        4000u};
+  const auto swept = run.sweep(
+      counts.size(), [&](std::size_t point, const core::TrialContext& ctx) {
+        core::TrialSpec spec = base;
+        spec.scenario.congested_fraction = 0.10;
+        spec.sim.snapshots = counts[point];
+        const auto trial = spec.run(ctx);
+        return std::pair(mean(trial.result.correlation_errors()),
+                         mean(trial.result.independence_errors()));
+      });
+  for (std::size_t point = 0; point < counts.size(); ++point) {
     double corr_sum = 0.0, ind_sum = 0.0;
-    for (const auto& outcome : outcomes) {
+    for (const auto& outcome : swept[point]) {
       corr_sum += outcome.value.first;
       ind_sum += outcome.value.second;
     }
-    table.add_row({std::to_string(snapshots),
+    table.add_row({std::to_string(counts[point]),
                    Table::fmt(corr_sum / s.trials),
                    Table::fmt(ind_sum / s.trials)});
   }

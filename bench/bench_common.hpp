@@ -150,8 +150,9 @@ inline core::ScenarioConfig resolve_scenario(
 /// Fills the non-scenario half of a TrialSpec from the shared settings.
 /// With a single trial the trial-level pool would sit idle, so --jobs is
 /// handed down to the batched simulator's block fan-out, the pair-candidate
-/// evaluation, and the solver's Gram build instead — all of which merge
-/// deterministically, so stdout stays byte-identical for any value.
+/// evaluation, the solver's Gram build, and the bootstrap's replicate
+/// fan-out instead — all of which merge deterministically, so stdout stays
+/// byte-identical for any value.
 inline void apply_trial_settings(core::TrialSpec& spec, const Settings& s) {
   spec.sim.snapshots = s.snapshots;
   spec.sim.packets_per_path = s.packets;
@@ -160,6 +161,7 @@ inline void apply_trial_settings(core::TrialSpec& spec, const Settings& s) {
     spec.sim.jobs = s.jobs;
     spec.inference.equations.jobs = s.jobs;
     spec.inference.solver.jobs = s.jobs;
+    spec.bootstrap.jobs = s.jobs;
   }
 }
 
@@ -236,6 +238,41 @@ class Run {
       trial_seconds_.push_back(outcome.seconds);
     }
     return outcomes;
+  }
+
+  /// Batched sweep for series benches: every (point, trial) pair runs as
+  /// one flattened job across `--jobs` workers instead of one barriered
+  /// trials() call per point — a slow trial of point 0 overlaps with
+  /// point 5's work instead of stalling the whole sweep. body(point, ctx)
+  /// receives exactly the TrialContext a per-point trials() call would
+  /// hand it (trial seeds do not depend on the point index), and outcomes
+  /// come back grouped by point in trial order, so callers' reductions —
+  /// and hence stdout — are byte-identical to the sequential per-point
+  /// loop for any --jobs.
+  template <typename Body>
+  auto sweep(std::size_t points, Body&& body) {
+    using R = decltype(body(std::size_t{0},
+                            std::declval<const core::TrialContext&>()));
+    std::vector<std::vector<core::Trial<R>>> out(points);
+    for (auto& per_point : out) per_point.resize(settings_.trials);
+    util::parallel_for(
+        settings_.jobs, points * settings_.trials, [&](std::size_t k) {
+          const std::size_t point = k / settings_.trials;
+          const std::size_t trial = k % settings_.trials;
+          const core::TrialContext ctx{trial, settings_.seed};
+          const Stopwatch stopwatch;
+          out[point][trial].value = body(point, ctx);
+          out[point][trial].seconds = stopwatch.seconds();
+          out[point][trial].index = trial;
+        });
+    // Wall times recorded point-major, matching what per-point trials()
+    // calls would have written.
+    for (const auto& per_point : out) {
+      for (const auto& outcome : per_point) {
+        trial_seconds_.push_back(outcome.seconds);
+      }
+    }
+    return out;
   }
 
   /// Emits the table to stdout (honoring --csv) and records it for JSON.

@@ -7,9 +7,15 @@
 // --trials independent experiments (fanned across --jobs workers) of
 // --snapshots snapshots at --packets probes each, with a bootstrap
 // confidence interval per factor (--replicates resamples per trial).
+//
+// With --scenario the binary instead benchmarks the full-pipeline
+// bootstrap (core::bootstrap_congestion) on the named registry entry:
+// batched vs reference engine at matched seeds, intervals on stdout and
+// wall-time/speedup telemetry in the JSON.
 #include <array>
 #include <cmath>
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/bootstrap.hpp"
@@ -121,10 +127,118 @@ void psi_table(bench::Run& run, const Toy& toy, const char* title) {
 
 struct McTrial {
   bool valid = false;  // false: the simulation was too degenerate to solve
+  std::size_t skipped = 0;  // replicates a degenerate resample dropped
   std::array<double, kAlphaCount> estimate{};
   std::array<double, kAlphaCount> ci_lo{};
   std::array<double, kAlphaCount> ci_hi{};
 };
+
+/// Mean upper-lower interval width across links (stdout-safe: fully
+/// deterministic for either engine).
+double mean_ci_width(const core::BootstrapResult& r) {
+  double sum = 0.0;
+  for (std::size_t e = 0; e < r.lower.size(); ++e) {
+    sum += r.upper[e] - r.lower[e];
+  }
+  return r.lower.empty() ? 0.0 : sum / static_cast<double>(r.lower.size());
+}
+
+/// --scenario mode: full-pipeline bootstrap benchmark on a registry entry.
+/// One simulation, then the batched and/or reference engines on the same
+/// measurement block at matched seeds. Wall times and the speedup go to
+/// the JSON metrics only — stdout is byte-identical for any --jobs, which
+/// the CI identity check relies on.
+void scenario_bootstrap(bench::Run& run, const bench::Settings& s,
+                        std::size_t replicates,
+                        const std::string& mode_arg) {
+  const bool run_batched = mode_arg == "batched" || mode_arg == "both";
+  const bool run_reference = mode_arg == "reference" || mode_arg == "both";
+  TOMO_REQUIRE(run_batched || run_reference,
+               "unknown --bootstrap-mode: " + mode_arg +
+                   " (expected batched|reference|both)");
+
+  core::TrialSpec spec = bench::resolve_trial_spec(
+      s, core::ScenarioCatalog::instance().at(s.scenario), 0x5ce0);
+  spec.bootstrap.replicates = replicates;
+  const core::TrialContext ctx{0, s.seed};
+  const core::ScenarioInstance inst =
+      core::build_scenario(spec.scenario_for(ctx));
+  sim::SimulatorConfig sim_config = spec.sim;
+  sim_config.seed = ctx.seed(spec.sim_tag);
+  const auto simr =
+      sim::simulate(inst.graph, inst.paths, *inst.truth, sim_config);
+  const graph::CoverageIndex cov(inst.graph, inst.paths);
+
+  std::cout << "# full-pipeline bootstrap on scenario '" << s.scenario
+            << "' — " << replicates << " replicates x "
+            << inst.graph.link_count() << " links, "
+            << sim_config.snapshots << " snapshots\n";
+  Table table(
+      {"engine", "replicates", "skipped", "reharvested", "mean_ci_width"});
+  const auto run_engine = [&](core::BootstrapMode mode, double& seconds) {
+    core::BootstrapOptions boot = spec.bootstrap_for(ctx);
+    boot.mode = mode;
+    // The replicate fan-out is this mode's whole parallel surface.
+    boot.jobs = mode == core::BootstrapMode::kBatched ? s.jobs : 1;
+    const Stopwatch timer;
+    core::BootstrapResult r =
+        core::bootstrap_congestion(inst.graph, inst.paths, cov,
+                                   inst.declared_sets, simr.measurement,
+                                   boot);
+    seconds = timer.seconds();
+    table.add_row({core::to_string(mode), std::to_string(r.replicates),
+                   std::to_string(r.skipped), std::to_string(r.reharvested),
+                   Table::fmt(mean_ci_width(r), 6)});
+    return r;
+  };
+
+  {
+    // Untimed warm-up (page cache, allocator arenas, branch predictors):
+    // a short discarded run so neither timed engine pays the process cold
+    // start. Stdout is untouched.
+    core::BootstrapOptions boot = spec.bootstrap_for(ctx);
+    boot.mode = core::BootstrapMode::kBatched;
+    boot.jobs = s.jobs;
+    boot.replicates = std::max<std::size_t>(2, std::min<std::size_t>(
+                                                   replicates, 16));
+    core::bootstrap_congestion(inst.graph, inst.paths, cov,
+                               inst.declared_sets, simr.measurement, boot);
+  }
+
+  std::optional<core::BootstrapResult> batched, reference;
+  double batched_seconds = 0.0, reference_seconds = 0.0;
+  if (run_batched) batched = run_engine(core::BootstrapMode::kBatched,
+                                        batched_seconds);
+  if (run_reference) reference = run_engine(core::BootstrapMode::kReference,
+                                            reference_seconds);
+  run.table("scenario bootstrap", table);
+
+  if (batched) {
+    run.metric("bootstrap_batched_seconds", batched_seconds)
+        .metric("bootstrap_skipped",
+                static_cast<double>(batched->skipped))
+        .metric("bootstrap_reharvested",
+                static_cast<double>(batched->reharvested));
+  }
+  if (reference) {
+    run.metric("bootstrap_reference_seconds", reference_seconds);
+  }
+  if (batched && reference) {
+    run.metric("bootstrap_speedup",
+               batched_seconds > 0.0 ? reference_seconds / batched_seconds
+                                     : 0.0);
+    // Interval agreement between the engines (exact with warm_start off;
+    // solver-tolerance-close with the default warm start).
+    double max_diff = 0.0;
+    for (std::size_t e = 0; e < batched->lower.size(); ++e) {
+      max_diff = std::max(max_diff,
+                          std::abs(batched->lower[e] - reference->lower[e]));
+      max_diff = std::max(max_diff,
+                          std::abs(batched->upper[e] - reference->upper[e]));
+    }
+    run.metric("bootstrap_max_interval_diff", max_diff);
+  }
+}
 
 }  // namespace
 
@@ -133,12 +247,25 @@ int main(int argc, char** argv) {
               "Fig 1 / §3.1-3.2: coverage tables and congestion factors");
   bench::add_common_flags(flags);
   flags.add_int("replicates", 1000,
-                "bootstrap resamples per trial for the alpha CIs");
+                "bootstrap resamples per trial for the alpha CIs (and per "
+                "engine in --scenario mode)");
+  flags.add_string("bootstrap-mode", "both",
+                   "--scenario mode engines to run: batched|reference|both");
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
   const std::size_t replicates =
       static_cast<std::size_t>(flags.get_int("replicates"));
   bench::Run run("fig1_tables", s);
+
+  if (!s.scenario.empty()) {
+    // Registry mode: the toys below describe two fixed four-node
+    // topologies, so a --scenario invocation benchmarks the full-pipeline
+    // bootstrap on the named entry instead.
+    scenario_bootstrap(run, s, replicates,
+                       flags.get_string("bootstrap-mode"));
+    run.finish();
+    return 0;
+  }
 
   psi_table(run, figure_1a(),
             "Figure 1(a): correlation-subset coverage table");
@@ -183,9 +310,9 @@ int main(int argc, char** argv) {
     sim_config.mode = sim::PacketMode::kBinomial;
     sim_config.seed = ctx.seed(0x1a00);
     auto simr = sim::simulate(toy.graph, toy.paths, truth, sim_config);
-    // The bootstrap resamples the snapshot axis, so keep a scalar copy of
-    // the observations alongside the packed measurement block.
-    const sim::PathObservations observations = simr.observations();
+    // The bootstrap resamples the packed block directly (word-level
+    // gathers); keep it alongside the measurement that adopts it.
+    const sim::MeasurementBlock block = simr.measurement;
 
     McTrial trial;
     try {
@@ -200,31 +327,35 @@ int main(int argc, char** argv) {
       return trial;
     }
 
-    // Percentile bootstrap over snapshot resamples. A replicate can fail
-    // when a resample leaves a needed pattern unobserved (tiny
-    // --snapshots); those replicates are dropped, deterministically.
+    // Percentile bootstrap over snapshot resamples, through the batched
+    // resample engine: replicate r always draws from
+    // replicate_rng(ctx.seed(0x1b00), r), so the sweep is identical for
+    // any fan-out — and with a single trial the replicates themselves
+    // spread across --jobs. Replicates that leave a needed pattern
+    // unobserved are dropped *and counted* (JSON telemetry below).
+    const auto replicate_alphas = core::resample_sweep(
+        block, replicates, ctx.seed(0x1b00), s.trials == 1 ? s.jobs : 1,
+        [&](const sim::EmpiricalMeasurement& meas) {
+          return extract_alphas(
+              core::run_theorem_algorithm(cov, toy.sets, meas));
+        });
     std::array<std::vector<double>, kAlphaCount> samples;
-    Rng boot_rng(ctx.seed(0x1b00));
-    for (std::size_t b = 0; b < replicates; ++b) {
-      const auto resampled =
-          core::resample_snapshots(observations, boot_rng);
-      try {
-        const sim::EmpiricalMeasurement meas(resampled);
-        const auto alphas =
-            extract_alphas(core::run_theorem_algorithm(cov, toy.sets, meas));
-        for (std::size_t i = 0; i < kAlphaCount; ++i) {
-          samples[i].push_back(alphas[i]);
-        }
-      } catch (const Error&) {
-        // degenerate resample; skip
+    for (const auto& alphas : replicate_alphas) {
+      if (!alphas) {
+        ++trial.skipped;
+        continue;
+      }
+      for (std::size_t i = 0; i < kAlphaCount; ++i) {
+        samples[i].push_back((*alphas)[i]);
       }
     }
     for (std::size_t i = 0; i < kAlphaCount; ++i) {
       if (samples[i].empty()) {
         trial.ci_lo[i] = trial.ci_hi[i] = trial.estimate[i];
       } else {
-        trial.ci_lo[i] = percentile(samples[i], 5.0);
-        trial.ci_hi[i] = percentile(samples[i], 95.0);
+        const Interval interval = percentile_pair(samples[i], 5.0, 95.0);
+        trial.ci_lo[i] = interval.lo;
+        trial.ci_hi[i] = interval.hi;
       }
     }
     return trial;
@@ -232,10 +363,11 @@ int main(int argc, char** argv) {
 
   std::array<double, kAlphaCount> est_sum{}, lo_sum{}, hi_sum{};
   double abs_err_sum = 0.0;
-  std::size_t valid_trials = 0;
+  std::size_t valid_trials = 0, skipped_total = 0;
   for (const auto& outcome : outcomes) {
     if (!outcome.value.valid) continue;
     ++valid_trials;
+    skipped_total += outcome.value.skipped;
     for (std::size_t i = 0; i < kAlphaCount; ++i) {
       est_sum[i] += outcome.value.estimate[i];
       lo_sum[i] += outcome.value.ci_lo[i];
@@ -243,6 +375,12 @@ int main(int argc, char** argv) {
       abs_err_sum +=
           std::abs(outcome.value.estimate[i] - kAlphaDefinition[i]);
     }
+  }
+  const std::size_t attempted = replicates * valid_trials;
+  if (skipped_total * 10 > attempted) {
+    std::cerr << "fig1_tables: warning: " << skipped_total << " of "
+              << attempted << " bootstrap replicates were degenerate and "
+              << "dropped; the alpha CIs rest on a thinned sample\n";
   }
 
   std::cout << "\n# §3.2 congestion factors from simulated measurements — "
@@ -264,6 +402,9 @@ int main(int argc, char** argv) {
     run.table("monte-carlo congestion factors", mc_table);
     run.metric("alpha_mean_abs_err",
                abs_err_sum / (trials * static_cast<double>(kAlphaCount)));
+    run.metric("bootstrap_replicates", static_cast<double>(attempted));
+    run.metric("bootstrap_skipped_replicates",
+               static_cast<double>(skipped_total));
   }
   run.finish();
   return 0;

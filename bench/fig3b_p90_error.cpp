@@ -20,20 +20,23 @@ int main(int argc, char** argv) {
                "congested links highly correlated (Brite)\n";
   const core::TrialSpec base =
       bench::resolve_trial_spec(s, 0x3b00, core::TopologyKind::kBrite);
-  for (const double pct : {5.0, 10.0, 15.0, 20.0, 25.0}) {
-    const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
-      core::TrialSpec spec = base;
-      spec.scenario.congested_fraction = pct / 100.0;
-      const auto trial = spec.run(ctx);
-      return std::pair(percentile(trial.result.correlation_errors(), 90.0),
-                       percentile(trial.result.independence_errors(), 90.0));
-    });
+  const std::vector<double> pcts{5.0, 10.0, 15.0, 20.0, 25.0};
+  const auto swept = run.sweep(
+      pcts.size(), [&](std::size_t point, const core::TrialContext& ctx) {
+        core::TrialSpec spec = base;
+        spec.scenario.congested_fraction = pcts[point] / 100.0;
+        const auto trial = spec.run(ctx);
+        return std::pair(
+            percentile(trial.result.correlation_errors(), 90.0),
+            percentile(trial.result.independence_errors(), 90.0));
+      });
+  for (std::size_t point = 0; point < pcts.size(); ++point) {
     double corr_sum = 0.0, ind_sum = 0.0;
-    for (const auto& outcome : outcomes) {
+    for (const auto& outcome : swept[point]) {
       corr_sum += outcome.value.first;
       ind_sum += outcome.value.second;
     }
-    table.add_row({Table::fmt(pct, 0),
+    table.add_row({Table::fmt(pcts[point], 0),
                    Table::fmt(corr_sum / s.trials),
                    Table::fmt(ind_sum / s.trials)});
   }

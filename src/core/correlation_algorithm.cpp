@@ -70,6 +70,12 @@ RefinedHarvest harvest_refined_system(
       if (refined.set(refined.set_of(e)).size() > 1) progress = true;
     }
     if (!progress) break;  // already singletons; nothing left to relax
+    // This round's harvest is about to be replaced: record its equation
+    // path sets so bootstrap replicates can certify the demotion decision
+    // replays (see RefinedHarvest::witness_paths).
+    for (const Equation& eq : harvest.system.equations) {
+      harvest.witness_paths.push_back(eq.paths);
+    }
     refined = demote_to_singletons(refined, uncovered);
     harvest.refined_links.insert(harvest.refined_links.end(),
                                  uncovered.begin(), uncovered.end());

@@ -60,6 +60,14 @@ struct InferenceResult {
 struct RefinedHarvest {
   EquationSystem system;  // harvest under the refined structure
   std::vector<graph::LinkId> refined_links;  // demoted to singletons
+  /// Path sets of the intermediate demotion rounds' equations (harvests a
+  /// later round replaced). Everything else in the refine→harvest→demote
+  /// chain is measurement-independent, so a caller re-running the chain on
+  /// a *weaker* measurement (the bootstrap's resamples: good snapshots can
+  /// only be lost, never invented) replays it identically iff these path
+  /// sets and the final system's equations all stay usable — the batched
+  /// bootstrap's support-stability certificate.
+  std::vector<std::vector<graph::PathId>> witness_paths;
 };
 
 /// Runs refinement + harvest + demotion on the measurements seen so far.

@@ -404,4 +404,29 @@ linalg::SparseSystemView sparse_view(const EquationSystem& system,
   return view;
 }
 
+linalg::SparseSystemView sparse_view_with_rhs(const EquationSystem& system,
+                                              const std::vector<double>& ys,
+                                              std::size_t weight_samples) {
+  TOMO_REQUIRE(ys.size() == system.equations.size(),
+               "sparse_view_with_rhs: rhs count does not match the system");
+  linalg::SparseSystemView view;
+  view.cols = system.link_count;
+  view.rows.reserve(system.equations.size());
+  const double n = static_cast<double>(weight_samples);
+  for (std::size_t i = 0; i < system.equations.size(); ++i) {
+    const Equation& eq = system.equations[i];
+    linalg::SparseRow row;
+    row.support = eq.links.data();
+    row.support_size = eq.links.size();
+    if (weight_samples > 0) {
+      row.value = variance_weight(ys[i], n);
+      row.y = row.value * ys[i];
+    } else {
+      row.y = ys[i];
+    }
+    view.rows.push_back(row);
+  }
+  return view;
+}
+
 }  // namespace tomo::core

@@ -137,4 +137,14 @@ void apply_variance_weights(EquationSystem& system, std::size_t samples);
 linalg::SparseSystemView sparse_view(const EquationSystem& system,
                                      std::size_t weight_samples = 0);
 
+/// Sparse view of `system` with replacement right-hand sides — the bootstrap
+/// fast path, where a resampled replicate keeps the harvest's supports but
+/// re-estimates every log-probability. ys[i] is equation i's new y; weights
+/// (when `weight_samples` > 0) are recomputed from the new values, exactly
+/// what a fresh harvest of the replicate would install. Same borrowing rule
+/// as sparse_view: the view must not outlive `system`.
+linalg::SparseSystemView sparse_view_with_rhs(const EquationSystem& system,
+                                              const std::vector<double>& ys,
+                                              std::size_t weight_samples = 0);
+
 }  // namespace tomo::core

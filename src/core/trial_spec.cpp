@@ -16,6 +16,13 @@ ExperimentConfig TrialSpec::experiment_for(const TrialContext& ctx) const {
   return config;
 }
 
+BootstrapOptions TrialSpec::bootstrap_for(const TrialContext& ctx) const {
+  BootstrapOptions options = bootstrap;
+  options.seed = ctx.seed(bootstrap_tag);
+  options.inference = inference;
+  return options;
+}
+
 TrialSpec::TrialRun TrialSpec::run(const TrialContext& ctx) const {
   TrialRun out{build_scenario(scenario_for(ctx)), {}};
   out.result = run_experiment(out.instance, experiment_for(ctx));

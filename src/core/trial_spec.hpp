@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "core/bootstrap.hpp"
 #include "core/experiment.hpp"
 #include "core/run_trials.hpp"
 #include "core/scenario.hpp"
@@ -24,6 +25,9 @@ struct TrialSpec {
   /// Simulator knobs (seed field ignored; overwritten per trial).
   sim::SimulatorConfig sim;
   InferenceOptions inference;
+  /// Bootstrap knobs for binaries that wrap trials in replicate intervals
+  /// (seed/inference fields ignored; overwritten by bootstrap_for).
+  BootstrapOptions bootstrap;
 
   /// Seed-derivation tags. The defaults match the benches' long-standing
   /// convention; binaries with historical tags (fig3a's 0x3a00, the
@@ -31,6 +35,7 @@ struct TrialSpec {
   /// streams byte-identical to earlier releases.
   std::uint64_t scenario_tag = 0x5ce0;
   std::uint64_t sim_tag = 0x51000;
+  std::uint64_t bootstrap_tag = 0x1b00;
 
   /// The scenario of one trial: base config with the trial's topology seed.
   ScenarioConfig scenario_for(const TrialContext& ctx) const;
@@ -38,6 +43,10 @@ struct TrialSpec {
   /// The experiment config of one trial: sim knobs with the trial's
   /// simulator seed, plus the shared inference options.
   ExperimentConfig experiment_for(const TrialContext& ctx) const;
+
+  /// The bootstrap options of one trial: the spec's bootstrap knobs with
+  /// the trial's replicate seed and the shared inference options.
+  BootstrapOptions bootstrap_for(const TrialContext& ctx) const;
 
   struct TrialRun {
     ScenarioInstance instance;

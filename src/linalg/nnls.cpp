@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "linalg/qr.hpp"
@@ -11,6 +12,11 @@
 namespace tomo::linalg {
 
 namespace {
+
+/// Dependence threshold of every factor append on this path; shared by
+/// seed_warm_factor and the solver so a cached seed admits exactly the
+/// columns an inline warm-up would.
+constexpr double kSeedRelTol = 1e-12;
 
 /// Least squares restricted to the columns in `passive` (solution entries
 /// for other columns are zero).
@@ -119,19 +125,21 @@ NnlsResult nnls_reference(const Matrix& a, const Vector& b,
 class IncrementalNnls {
  public:
   IncrementalNnls(const GramSystem& gs, std::size_t max_iterations,
-                  double tol, const std::vector<std::size_t>& warm)
+                  double tol, const std::vector<std::size_t>& warm,
+                  const NnlsWarmFactor* cached)
       : gs_(gs),
         n_(gs.gram.cols()),
         max_iterations_(max_iterations),
         tol_(tol),
         warm_(warm),
+        cached_(cached),
         in_passive_(n_, 0),
         blocked_(n_, 0),
         chol_(n_) {}
 
   NnlsResult run() {
     result_.x.assign(n_, 0.0);
-    if (!warm_.empty()) warm_up();
+    if (cached_ != nullptr || !warm_.empty()) warm_up();
     Vector w = gradient();
 
     while (result_.iterations < max_iterations_) {
@@ -172,14 +180,17 @@ class IncrementalNnls {
   /// The restoration solves are not counted as iterations: the passive set
   /// strictly shrinks each round, so the phase is bounded by the seed size.
   void warm_up() {
-    for (std::size_t j : warm_) {
-      if (j >= n_ || in_passive_[j]) continue;
-      if (gs_.gram(j, j) <= 0.0) continue;  // empty column
-      if (!chol_.append(cross_terms(j), gs_.gram(j, j), kRelTol)) {
-        continue;  // dependent on the columns seeded so far; skip
-      }
-      in_passive_[j] = 1;
-      passive_.push_back(j);
+    if (cached_ != nullptr) {
+      // Adopt the pre-factored seed: bit-identical to running the
+      // admission loop below, minus the O(k^3) appends.
+      chol_ = cached_->chol;
+      passive_ = cached_->passive;
+      for (std::size_t j : passive_) in_passive_[j] = 1;
+    } else {
+      NnlsWarmFactor seeded = seed_warm_factor(gs_, warm_);
+      chol_ = std::move(seeded.chol);
+      passive_ = std::move(seeded.passive);
+      for (std::size_t j : passive_) in_passive_[j] = 1;
     }
     while (!passive_.empty()) {
       Vector cp(passive_.size());
@@ -381,13 +392,14 @@ class IncrementalNnls {
         std::sqrt(std::max(0.0, gs_.btb - 2.0 * lin + quad));
   }
 
-  static constexpr double kRelTol = 1e-12;
+  static constexpr double kRelTol = kSeedRelTol;
 
   const GramSystem& gs_;
   const std::size_t n_;
   const std::size_t max_iterations_;
   const double tol_;
   const std::vector<std::size_t>& warm_;
+  const NnlsWarmFactor* cached_;
   NnlsResult result_;
   std::vector<std::size_t> passive_;
   std::vector<std::uint8_t> in_passive_;
@@ -400,6 +412,28 @@ std::size_t resolve_iteration_cap(std::size_t requested, std::size_t cols) {
 }
 
 }  // namespace
+
+NnlsWarmFactor seed_warm_factor(const GramSystem& gs,
+                                const std::vector<std::size_t>& warm) {
+  const std::size_t n = gs.gram.cols();
+  NnlsWarmFactor out;
+  out.chol = UpdatableCholesky(n);
+  std::vector<std::uint8_t> in(n, 0);
+  for (std::size_t j : warm) {
+    if (j >= n || in[j]) continue;
+    if (gs.gram(j, j) <= 0.0) continue;  // empty column
+    Vector cross(out.passive.size());
+    for (std::size_t i = 0; i < out.passive.size(); ++i) {
+      cross[i] = gs.gram(out.passive[i], j);
+    }
+    if (!out.chol.append(cross, gs.gram(j, j), kSeedRelTol)) {
+      continue;  // dependent on the columns seeded so far; skip
+    }
+    in[j] = 1;
+    out.passive.push_back(j);
+  }
+  return out;
+}
 
 GramSystem make_gram(const Matrix& a, const Vector& b) {
   TOMO_REQUIRE(b.size() == a.rows(), "make_gram: rhs length mismatch");
@@ -452,9 +486,21 @@ NnlsResult nnls_gram(const GramSystem& system, const NnlsOptions& options) {
                "nnls_gram: gram matrix must be square");
   TOMO_REQUIRE(system.atb.size() == system.gram.cols(),
                "nnls_gram: atb length mismatch");
+  if (options.warm_factor != nullptr) {
+    TOMO_REQUIRE(
+        options.warm_factor->chol.size() ==
+            options.warm_factor->passive.size(),
+        "nnls_gram: malformed warm factor");
+    for (std::size_t j : options.warm_factor->passive) {
+      TOMO_REQUIRE(j < system.gram.cols(),
+                   "nnls_gram: warm factor column out of range");
+    }
+  }
   const std::size_t cap =
       resolve_iteration_cap(options.max_iterations, system.gram.cols());
-  return IncrementalNnls(system, cap, options.tol, options.warm_start).run();
+  return IncrementalNnls(system, cap, options.tol, options.warm_start,
+                         options.warm_factor)
+      .run();
 }
 
 }  // namespace tomo::linalg

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/updatable_cholesky.hpp"
 
 namespace tomo::linalg {
 
@@ -32,6 +33,27 @@ enum class NnlsMode {
   kIncremental,  // cached Gram + updatable Cholesky (default)
   kReference,    // fresh dense QR per inner iteration
 };
+
+/// The measurement-independent half of a warm start, precomputed: the
+/// Cholesky factor of G[P, P] with the admissible seed columns already
+/// appended (in seed order, dependent/empty columns dropped). Admission
+/// depends only on the Gram matrix and the seed — not the right-hand
+/// side — so callers solving many systems that share G (the batched
+/// bootstrap's replicates) build this once and let every solve copy the
+/// factor in O(k^2) instead of re-appending k columns in O(k^3). The copy
+/// is bit-identical to the rebuild, so results don't change.
+struct NnlsWarmFactor {
+  UpdatableCholesky chol;
+  std::vector<std::size_t> passive;  // admitted seed columns, factor order
+};
+
+struct GramSystem;
+
+/// Runs the warm-up admission loop once. `warm` is interpreted exactly as
+/// NnlsOptions::warm_start (out-of-range, duplicate, empty-column, or
+/// dependent entries are dropped).
+NnlsWarmFactor seed_warm_factor(const GramSystem& gs,
+                                const std::vector<std::size_t>& warm);
 
 struct NnlsOptions {
   NnlsMode mode = NnlsMode::kIncremental;
@@ -48,6 +70,12 @@ struct NnlsOptions {
   /// a cold solve reaches, just via fewer iterations. The reference engine
   /// ignores it.
   std::vector<std::size_t> warm_start;
+  /// Optional pre-factored seed (incremental engine only). Must have been
+  /// built by seed_warm_factor against a GramSystem with the *same* gram
+  /// matrix as the one being solved (the rhs may differ). When set it
+  /// replaces the warm_start admission loop — warm_start itself is then
+  /// ignored. Not owned; the caller keeps it alive for the solve.
+  const NnlsWarmFactor* warm_factor = nullptr;
 };
 
 struct NnlsResult {

@@ -230,10 +230,13 @@ LogSystemSolution solve_sparse_incremental(const SparseSystemView& system,
   nnls_options.max_iterations = options.max_iterations;
   nnls_options.tol = options.tol;
   nnls_options.warm_start = options.warm_start;
+  nnls_options.warm_factor = options.nnls_warm_factor;
   NnlsResult r = nnls_gram(gs, nnls_options);
   std::ostringstream detail;
   describe_nnls(detail, r, NnlsMode::kIncremental);
-  if (!options.warm_start.empty()) {
+  if (options.nnls_warm_factor != nullptr) {
+    detail << " warm=" << options.nnls_warm_factor->passive.size();
+  } else if (!options.warm_start.empty()) {
     detail << " warm=" << options.warm_start.size();
   }
   LogSystemSolution out = finish(std::move(r.x), detail);
@@ -286,6 +289,13 @@ LogSystemSolution solve_log_system(const SparseSystemView& system,
                  "solve_log_system: non-finite rhs entry");
   }
   return solve_sparse_incremental(system, gs, options);
+}
+
+LogSystemSolution solve_log_system_reuse(const SparseSystemView& system,
+                                         GramSystem& gs,
+                                         const SolverOptions& options) {
+  refresh_gram_rhs(gs, system, options.jobs);
+  return solve_log_system(system, gs, options);
 }
 
 LogSystemSolution solve_log_system(const Matrix& a, const Vector& y,

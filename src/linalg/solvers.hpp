@@ -57,6 +57,10 @@ struct SolverOptions {
   /// streaming solve). Ignored by every other kind/engine; safe to leave
   /// stale — see NnlsOptions::warm_start.
   std::vector<std::size_t> warm_start;
+  /// Pre-factored warm seed for solves sharing one Gram matrix (the
+  /// batched bootstrap); replaces the per-solve warm_start admission loop
+  /// bit-identically. Not owned — see NnlsOptions::warm_factor.
+  const NnlsWarmFactor* nnls_warm_factor = nullptr;
 };
 
 /// One equation row viewed sparsely: `value` on every column in
@@ -133,5 +137,16 @@ void refresh_gram_rhs(GramSystem& gs, const SparseSystemView& system,
 LogSystemSolution solve_log_system(const SparseSystemView& system,
                                    const GramSystem& gs,
                                    const SolverOptions& options);
+
+/// Shared-skeleton replicated solve: refreshes only the rhs products of
+/// `gs` in place (its G = A^T A must already match `system`'s support —
+/// same rows, same order, same values) and solves. The batched bootstrap's
+/// per-replicate entry point: hundreds of resampled systems share one Gram
+/// skeleton, each paying O(nnz) for the rhs instead of O(nnz * k) for a
+/// full rebuild. Bitwise equal to a cold sparse solve of `system` when
+/// options.warm_start is empty.
+LogSystemSolution solve_log_system_reuse(const SparseSystemView& system,
+                                         GramSystem& gs,
+                                         const SolverOptions& options);
 
 }  // namespace tomo::linalg

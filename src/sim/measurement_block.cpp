@@ -1,5 +1,6 @@
 #include "sim/measurement_block.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/error.hpp"
@@ -108,6 +109,48 @@ MeasurementBlock MeasurementBlock::slice(std::size_t first,
     dst[out_words - 1] &= out.word_mask(out_words - 1);
   }
   out.recount();
+  return out;
+}
+
+MeasurementBlock MeasurementBlock::resample(
+    std::span<const std::uint32_t> picks) const {
+  TOMO_REQUIRE(!empty(), "cannot resample an empty measurement block");
+  TOMO_REQUIRE(!picks.empty(), "resample needs at least one pick");
+  MeasurementBlock out;
+  out.path_count = path_count;
+  out.snapshot_count = picks.size();
+  const std::size_t out_words = out.words_per_path();
+  out.good_bits.assign(path_count * out_words, 0);
+  out.good_counts.assign(path_count, 0);
+
+  // Split each pick into (word, bit) once; the picks are shared by every
+  // path, so the per-path loop below is a pure gather over packed words.
+  std::vector<std::uint32_t> pick_word(picks.size());
+  std::vector<std::uint8_t> pick_shift(picks.size());
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    TOMO_REQUIRE(picks[i] < snapshot_count,
+                 "resample pick exceeds the block's snapshots");
+    pick_word[i] = picks[i] >> 6;
+    pick_shift[i] = static_cast<std::uint8_t>(picks[i] & 63);
+  }
+
+  for (PathId p = 0; p < path_count; ++p) {
+    const std::uint64_t* src = good_row(p);
+    std::uint64_t* dst = out.good_bits.data() + p * out_words;
+    std::size_t count = 0;
+    std::size_t i = 0;
+    for (std::size_t w = 0; w < out_words; ++w) {
+      const std::size_t end = std::min(i + 64, picks.size());
+      std::uint64_t word = 0;
+      for (unsigned b = 0; i < end; ++i, ++b) {
+        word |= ((src[pick_word[i]] >> pick_shift[i]) & std::uint64_t{1})
+                << b;
+      }
+      dst[w] = word;
+      count += static_cast<std::size_t>(std::popcount(word));
+    }
+    out.good_counts[p] = count;
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/path.hpp"
@@ -60,6 +61,13 @@ struct MeasurementBlock {
   /// Extracts snapshots [first, first + count) as a standalone block
   /// (tail bits cleared, counts recomputed).
   MeasurementBlock slice(std::size_t first, std::size_t count) const;
+
+  /// Bootstrap resample: snapshot i of the result is snapshot picks[i] of
+  /// this block (picks drawn with replacement; every pick < snapshot_count).
+  /// The word/shift of each pick is computed once and shared by every
+  /// path's gather, so the whole resample is a packed-word operation — the
+  /// bootstrap never goes through per-bit PathObservations writes.
+  MeasurementBlock resample(std::span<const std::uint32_t> picks) const;
 
   /// Exact complement conversions (tail handling included).
   static MeasurementBlock from_observations(const PathObservations& obs);

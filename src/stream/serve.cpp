@@ -127,6 +127,13 @@ ServeReport serve(std::istream& input, std::ostream& output,
     report.last_mean_err = mean_err;
     output << window_json(estimate, mean_err) << '\n';
     output.flush();
+    if (!output.good()) {
+      // Downstream hung up (EPIPE with SIGPIPE ignored, or any other
+      // stream failure). Further windows have no reader: stop cleanly and
+      // let the caller report it instead of crashing mid-write.
+      report.output_closed = true;
+      break;
+    }
     if (options.max_windows != 0 && report.windows >= options.max_windows) {
       break;
     }

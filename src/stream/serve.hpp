@@ -46,6 +46,10 @@ struct ServeReport {
   double total_seconds = 0.0;      // sum of per-window update times
   double max_window_seconds = 0.0;
   double last_mean_err = -1.0;     // final window's mean_err (-1 = n/a)
+  /// The consumer closed the output (EPIPE / stream failure) and the loop
+  /// stopped early. Callers ignoring SIGPIPE see this instead of dying —
+  /// `head -n 3` on the daemon's stdout is a clean shutdown, not a crash.
+  bool output_closed = false;
 };
 
 /// One line of the daemon's stdout protocol (no trailing newline).

@@ -22,6 +22,13 @@ struct Interval {
   double lo;
   double hi;
 };
+
+/// Both tails of one sample with a single sort: {percentile(v, p_lo),
+/// percentile(v, p_hi)}, bit-identical to the two separate calls. The
+/// bootstrap-interval hot path calls this once per link instead of paying
+/// the copy+sort twice.
+Interval percentile_pair(std::vector<double> values, double p_lo,
+                         double p_hi);
 Interval wilson_interval(std::size_t k, std::size_t n, double z = 1.96);
 
 }  // namespace tomo

@@ -330,6 +330,35 @@ TEST(Serve, EmitsOneDeterministicJsonLinePerWindow) {
   EXPECT_EQ(k, 3u);
 }
 
+/// A consumer closing the output (EPIPE with SIGPIPE ignored surfaces
+/// as a failed stream) must stop the loop cleanly after the failed
+/// window — flagged on the report, producer joined — not kill the
+/// process or spin on a dead pipe.
+TEST(Serve, ClosedOutputStopsTheLoopAndIsReported) {
+  auto sys = tomo::testing::figure_1a();
+  auto model = tomo::testing::figure_1a_model(sys.sets);
+  sim::SimulatorConfig config;
+  config.snapshots = 400;
+  config.seed = 35;
+  const sim::SimulationResult result =
+      sim::simulate(sys.graph, sys.paths, *model, config);
+
+  std::stringstream input;
+  ObsStreamWriter writer(input, result.measurement.path_count);
+  for (const sim::MeasurementBlock& w :
+       split_windows(result.measurement, 100)) {
+    writer.write_window(w);
+  }
+  writer.close();
+
+  std::stringstream output;
+  output.setstate(std::ios::failbit);  // consumer already gone
+  const ServeReport report =
+      serve(input, output, sys.graph, sys.paths, sys.sets, {});
+  EXPECT_TRUE(report.output_closed);
+  EXPECT_EQ(report.windows, 1u);  // the window whose write failed
+}
+
 TEST(Serve, MaxWindowsStopsEarlyAndStillJoinsTheProducer) {
   auto sys = tomo::testing::figure_1a();
   auto model = tomo::testing::figure_1a_model(sys.sets);

@@ -219,6 +219,12 @@ int cmd_infer(int argc, const char* const* argv) {
                  "run the independence baseline instead");
   flags.add_int("bootstrap", 0,
                 "replicates for 90% confidence intervals (0 = off)");
+  flags.add_string("bootstrap-mode", "batched",
+                   "bootstrap engine: batched (Gram-skeleton reuse) | "
+                   "reference (serial full re-inference)");
+  flags.add_int("bootstrap-jobs", 1,
+                "worker threads for bootstrap replicates (0 = all cores); "
+                "intervals are bit-identical for any value");
   flags.add_bool("csv", false, "CSV output");
   if (!flags.parse(argc, argv)) return 0;
 
@@ -249,6 +255,9 @@ int cmd_infer(int argc, const char* const* argv) {
   if (replicates > 0 && !flags.get_bool("independent")) {
     core::BootstrapOptions boot;
     boot.replicates = replicates;
+    boot.mode =
+        core::bootstrap_mode_from_string(flags.get_string("bootstrap-mode"));
+    boot.jobs = static_cast<std::size_t>(flags.get_int("bootstrap-jobs"));
     boot.inference = options;
     const core::BootstrapResult intervals = core::bootstrap_congestion(
         system.graph, system.paths, coverage, sets, obs, boot);

@@ -24,6 +24,7 @@
 // Live tailing: point --input at a file another process appends
 // tomo-obs-stream windows to (or pipe into --input -) and pass
 // --poll-ms 200; each window's estimate prints the moment it lands.
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -252,6 +253,12 @@ int cmd_serve(int argc, const char* const* argv) {
 
   const stream::ServeReport report = stream::serve(
       is, std::cout, *system.graph, *system.paths, *system.sets, options);
+  if (report.output_closed) {
+    std::fprintf(stderr,
+                 "tomo_daemon: output closed by consumer after %zu "
+                 "windows; stopping\n",
+                 report.windows);
+  }
   std::fprintf(stderr,
                "served %zu windows (%zu usable, %zu snapshots): "
                "%.1f ms/window mean, %.1f ms max\n",
@@ -322,6 +329,11 @@ int main(int argc, char** argv) {
     std::fputs(usage, stderr);
     return 2;
   }
+#ifdef SIGPIPE
+  // A consumer like `head` closing our stdout must surface as a stream
+  // write failure (handled in stream::serve), not a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   try {
     const std::string cmd = argv[1];
     // Shift argv so each subcommand parses its own flags.
