@@ -7,14 +7,21 @@
 
 namespace tomo::core {
 
-ScenarioCatalog::ScenarioCatalog() {
+void ScenarioCatalog::add_entry(CatalogEntry entry) {
+  TOMO_REQUIRE(find(entry.name) == nullptr,
+               "duplicate scenario registration '" + entry.name + "'");
+  entries_.push_back(std::move(entry));
+}
+
+ScenarioCatalog ScenarioCatalog::built_in() {
+  ScenarioCatalog catalog;
   // Registration helper. Keep the literal name as the first argument on
   // its own call — CI greps `add("<name>"` to enforce docs/SCENARIOS.md
   // coverage.
-  const auto add = [this](std::string name, std::string figure,
-                          std::string summary, ScenarioConfig config) {
-    entries_.push_back(CatalogEntry{std::move(name), std::move(figure),
-                                    std::move(summary), std::move(config)});
+  const auto add = [&catalog](std::string name, std::string figure,
+                              std::string summary, ScenarioConfig config) {
+    catalog.add_entry(CatalogEntry{std::move(name), std::move(figure),
+                                   std::move(summary), std::move(config)});
   };
 
   {
@@ -132,10 +139,31 @@ ScenarioCatalog::ScenarioCatalog() {
     add("waxman-worm-bursty", "Fig. 5 x Assumption 3",
         "bursty Waxman mesh with a hidden worm across sets", c);
   }
+  {
+    // Internet-scale hierarchical entries for the sharded inference path
+    // (docs/ARCHITECTURE.md "The sharded inference path"). The expensive
+    // unidentifiability injection stays off: these entries measure scale,
+    // not Fig. 4 robustness, and injection is O(nodes x identifiability
+    // checks). shrink_for_tests caps them to catalog-suite scale, so the
+    // property suites still cover them cheaply.
+    ScenarioConfig c;
+    c.as_nodes = 2000;
+    c.as_endpoints = 48;
+    add("hier-2k", "§5 scale stress",
+        "2k-AS hierarchical topology, 48 vantage ASes (~2.2k paths)", c);
+  }
+  {
+    ScenarioConfig c;
+    c.as_nodes = 10000;
+    c.as_endpoints = 104;
+    add("hier-10k", "§5 scale stress",
+        "10k-AS hierarchical topology, 104 vantage ASes (~10.7k paths)", c);
+  }
+  return catalog;
 }
 
 const ScenarioCatalog& ScenarioCatalog::instance() {
-  static const ScenarioCatalog catalog;
+  static const ScenarioCatalog catalog = built_in();
   return catalog;
 }
 
@@ -149,14 +177,61 @@ const CatalogEntry* ScenarioCatalog::find(const std::string& name) const {
 const CatalogEntry& ScenarioCatalog::at(const std::string& name) const {
   const CatalogEntry* entry = find(name);
   if (entry == nullptr) {
+    std::string message = "unknown scenario '" + name + "'";
+    const std::vector<std::string> close =
+        scenario_suggestions(name, names());
+    if (!close.empty()) {
+      message += "; did you mean: ";
+      for (std::size_t i = 0; i < close.size(); ++i) {
+        message += (i == 0 ? "" : ", ") + close[i];
+      }
+      message += "?";
+    } else {
+      message += ";";
+    }
     std::string known;
     for (const CatalogEntry& e : entries_) {
       known += known.empty() ? e.name : ", " + e.name;
     }
-    TOMO_REQUIRE(false,
-                 "unknown scenario '" + name + "'; known: " + known);
+    TOMO_REQUIRE(false, message + " known: " + known);
   }
   return *entry;
+}
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_suggestions(
+    const std::string& name, const std::vector<std::string>& known) {
+  std::vector<std::string> out;
+  if (name.empty()) {
+    return out;
+  }
+  for (const std::string& candidate : known) {
+    const bool substring = candidate.find(name) != std::string::npos ||
+                           name.find(candidate) != std::string::npos;
+    if (substring || edit_distance(name, candidate) <= 2) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> ScenarioCatalog::names() const {

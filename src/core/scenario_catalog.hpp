@@ -29,26 +29,43 @@ struct CatalogEntry {
   ScenarioConfig config;  // base config; callers set/override the seed
 };
 
-/// Immutable process-wide registry of named scenarios.
+/// Process-wide registry of named scenarios. `instance()` returns the
+/// fully-populated built-in registry; a default-constructed catalog is
+/// empty (tests exercise registration invariants on their own instances).
 class ScenarioCatalog {
  public:
+  ScenarioCatalog() = default;
+
   static const ScenarioCatalog& instance();
+
+  /// Registers an entry. Throws tomo::Error when an entry with the same
+  /// name is already present — a duplicate registration would make
+  /// --scenario silently resolve to whichever entry happened to be first.
+  void add_entry(CatalogEntry entry);
 
   const std::vector<CatalogEntry>& entries() const { return entries_; }
 
   /// nullptr when `name` is not registered.
   const CatalogEntry* find(const std::string& name) const;
 
-  /// Throws tomo::Error listing the known names when `name` is missing.
+  /// Throws tomo::Error when `name` is missing; the message leads with
+  /// near-miss suggestions (see scenario_suggestions) and then lists every
+  /// known name.
   const CatalogEntry& at(const std::string& name) const;
 
   std::vector<std::string> names() const;
 
  private:
-  ScenarioCatalog();
+  static ScenarioCatalog built_in();
 
   std::vector<CatalogEntry> entries_;
 };
+
+/// Known names that look like plausible intentions behind a mistyped
+/// `name`: substring matches (either direction, e.g. "hier" -> hier-2k)
+/// and names within Levenshtein distance 2, in registry order.
+std::vector<std::string> scenario_suggestions(
+    const std::string& name, const std::vector<std::string>& known);
 
 /// Shrinks a config to test/CI scale (roughly half-size topology, same
 /// correlation structure). The golden-metrics and property suites run

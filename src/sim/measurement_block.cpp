@@ -112,6 +112,26 @@ MeasurementBlock MeasurementBlock::slice(std::size_t first,
   return out;
 }
 
+MeasurementBlock MeasurementBlock::select_paths(
+    std::span<const PathId> paths) const {
+  TOMO_REQUIRE(!empty(), "cannot select paths from an empty block");
+  TOMO_REQUIRE(!paths.empty(), "path selection needs at least one path");
+  MeasurementBlock out;
+  out.path_count = paths.size();
+  out.snapshot_count = snapshot_count;
+  const std::size_t words = words_per_path();
+  out.good_bits.resize(paths.size() * words);
+  out.good_counts.resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    TOMO_REQUIRE(paths[i] < path_count,
+                 "path selection index exceeds the block's paths");
+    const std::uint64_t* src = good_row(paths[i]);
+    std::copy(src, src + words, out.good_bits.data() + i * words);
+    out.good_counts[i] = good_counts[paths[i]];
+  }
+  return out;
+}
+
 MeasurementBlock MeasurementBlock::resample(
     std::span<const std::uint32_t> picks) const {
   TOMO_REQUIRE(!empty(), "cannot resample an empty measurement block");

@@ -62,6 +62,13 @@ struct MeasurementBlock {
   /// (tail bits cleared, counts recomputed).
   MeasurementBlock slice(std::size_t first, std::size_t count) const;
 
+  /// Row selection: path i of the result is path `paths[i]` of this block
+  /// (words copied verbatim — snapshot axis untouched, counts carried
+  /// over). The sharded-inference hand-off: each shard's measurement is
+  /// exactly the monolithic rows of its member paths, so per-path counts
+  /// and pair AND+popcounts are bitwise identical to the full block's.
+  MeasurementBlock select_paths(std::span<const PathId> paths) const;
+
   /// Bootstrap resample: snapshot i of the result is snapshot picks[i] of
   /// this block (picks drawn with replacement; every pick < snapshot_count).
   /// The word/shift of each pick is computed once and shared by every

@@ -66,16 +66,19 @@ ServeReport serve(std::istream& input, std::ostream& output,
                   const ServeOptions& options) {
   WindowRing ring(options.ring_capacity);
   std::exception_ptr producer_error;
+  std::size_t truncations = 0;  // producer-owned until the join below
 
   // Producer: tail the input and feed the ring. The reader is touched by
   // this thread only.
   std::thread producer([&] {
     try {
-      ObsStreamReader reader(input);
+      std::optional<ObsStreamReader> reader;
+      reader.emplace(input);
+      long long last_size = -1;
       for (;;) {
-        std::optional<sim::MeasurementBlock> window = reader.next();
+        std::optional<sim::MeasurementBlock> window = reader->next();
         if (window.has_value()) {
-          if (reader.batch_format()) {
+          if (reader->batch_format()) {
             // A complete classic file: re-slice it into our schedule.
             for (sim::MeasurementBlock& slice :
                  split_windows(*window, options.window_snapshots)) {
@@ -86,9 +89,29 @@ ServeReport serve(std::istream& input, std::ostream& output,
           if (!ring.push(std::move(*window))) break;
           continue;
         }
-        if (reader.finished()) break;
+        if (reader->finished()) break;
         if (options.poll_ms <= 0) break;
         input.clear();
+        if (options.input_size) {
+          const long long size = options.input_size();
+          if (size >= 0) {
+            if (last_size >= 0 && size < last_size) {
+              // The file shrank under the tail: it was truncated or
+              // rewritten in place. Our offset points into data that no
+              // longer exists — start over on the new contents.
+              std::fprintf(stderr,
+                           "tomo_daemon: input shrank %lld -> %lld bytes "
+                           "(truncated or rewritten); reopening from "
+                           "start\n",
+                           last_size, size);
+              ++truncations;
+              input.clear();
+              input.seekg(0);
+              reader.emplace(input);
+            }
+            last_size = size;
+          }
+        }
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options.poll_ms));
       }
@@ -140,6 +163,7 @@ ServeReport serve(std::istream& input, std::ostream& output,
   }
   ring.close();  // unblocks a producer stuck in push after max_windows
   producer.join();
+  report.truncations = truncations;  // join() ordered the producer's writes
   if (producer_error) std::rethrow_exception(producer_error);
   return report;
 }

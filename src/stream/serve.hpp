@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -37,6 +38,14 @@ struct ServeOptions {
   /// Optional per-link true marginals: adds a "mean_err" field per window
   /// (mean absolute error over the potentially congested links so far).
   const std::vector<double>* truth = nullptr;
+  /// Tail-mode truncation probe, consulted before each poll retry: returns
+  /// the input's current byte size, or -1 when unknown. When the reported
+  /// size shrinks, the file was truncated or rewritten in place under the
+  /// tail (logrotate copytruncate, a recorder restarting) — the producer
+  /// emits a stderr diagnostic and reopens from the start instead of
+  /// silently tailing a stale offset. Unset (the default) disables the
+  /// check, e.g. for pipes.
+  std::function<long long()> input_size;
 };
 
 struct ServeReport {
@@ -50,6 +59,9 @@ struct ServeReport {
   /// stopped early. Callers ignoring SIGPIPE see this instead of dying —
   /// `head -n 3` on the daemon's stdout is a clean shutdown, not a crash.
   bool output_closed = false;
+  /// Times the producer detected a shrunken input and reopened from the
+  /// start (see ServeOptions::input_size).
+  std::size_t truncations = 0;
 };
 
 /// One line of the daemon's stdout protocol (no trailing newline).

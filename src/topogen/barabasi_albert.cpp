@@ -17,8 +17,14 @@ std::vector<std::pair<std::size_t, std::size_t>> barabasi_albert_edges(
   // degree-proportional sampling.
   std::vector<std::size_t> targets;
 
-  // Seed clique over the first edges_per_node + 1 nodes.
+  // Seed clique over the first edges_per_node + 1 nodes. Edge and target
+  // counts are known exactly up front; reserving keeps the 10k-node
+  // generation free of reallocation copies of the O(n) target list.
   const std::size_t seed = edges_per_node + 1;
+  const std::size_t total_edges =
+      seed * (seed - 1) / 2 + (nodes - seed) * edges_per_node;
+  edges.reserve(total_edges);
+  targets.reserve(2 * total_edges);
   for (std::size_t i = 0; i < seed; ++i) {
     for (std::size_t j = i + 1; j < seed; ++j) {
       edges.emplace_back(i, j);

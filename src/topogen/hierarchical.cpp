@@ -1,7 +1,7 @@
 #include "topogen/hierarchical.hpp"
 
 #include <algorithm>
-#include <map>
+#include <limits>
 #include <sstream>
 
 #include "graph/routing.hpp"
@@ -54,9 +54,19 @@ GeneratedTopology generate_hierarchical(const HierarchicalParams& params) {
   //    the AS, which is what correlates links along paths, not just across
   //    them.
   std::size_t next_router_link = 0;
-  // (as, chunk) -> shared fabric router link id, and its current fill.
-  std::map<std::pair<graph::NodeId, std::size_t>, std::size_t> fabric_shared;
-  std::map<std::pair<graph::NodeId, std::size_t>, std::size_t> fabric_fill;
+  // Per-AS fabric bookkeeping, indexed directly by chunk id. (This used to
+  // be two std::maps keyed by (as, chunk): at 2k-10k AS nodes the
+  // per-link tree walks and node allocations turned the fabric assignment
+  // superlinear. Chunk ids grow in steps of borders_per_as from a base
+  // below it, so a plain per-node vector addresses them exactly; shared
+  // router-link ids are handed out at first touch, in the same order as
+  // the historical map insertion — output is byte-identical.)
+  constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+  struct FabricChunk {
+    std::size_t fill = 0;
+    std::size_t shared = kUnassigned;
+  };
+  std::vector<std::vector<FabricChunk>> fabric(out.graph.node_count());
   out.underlying.resize(out.graph.link_count());
   for (graph::LinkId e = 0; e < out.graph.link_count(); ++e) {
     const graph::Link& link = out.graph.link(e);
@@ -65,16 +75,14 @@ GeneratedTopology generate_hierarchical(const HierarchicalParams& params) {
       // Spread the AS's links over borders_per_as parallel fabric groups,
       // then cap each group chunk at max_corrset_size.
       const std::size_t base_group = rng.below(params.borders_per_as);
-      std::size_t chunk = base_group;
-      for (;; chunk += params.borders_per_as) {
-        auto key = std::make_pair(side, chunk);
-        std::size_t& fill = fabric_fill[key];
-        if (fill < params.max_corrset_size) {
-          ++fill;
-          auto [it, inserted] =
-              fabric_shared.emplace(key, next_router_link);
-          if (inserted) ++next_router_link;
-          out.underlying[e].push_back(it->second);
+      std::vector<FabricChunk>& chunks = fabric[side];
+      for (std::size_t chunk = base_group;; chunk += params.borders_per_as) {
+        if (chunk >= chunks.size()) chunks.resize(chunk + 1);
+        FabricChunk& fc = chunks[chunk];
+        if (fc.fill < params.max_corrset_size) {
+          ++fc.fill;
+          if (fc.shared == kUnassigned) fc.shared = next_router_link++;
+          out.underlying[e].push_back(fc.shared);
           break;
         }
       }
@@ -90,13 +98,16 @@ GeneratedTopology generate_hierarchical(const HierarchicalParams& params) {
 
   // 5. Correlation sets = connected components of the sharing graph. With
   //    one shared underlying link per measured link, components are
-  //    precisely the fabric chunks.
-  std::map<std::size_t, std::vector<graph::LinkId>> groups;
+  //    precisely the fabric chunks. Bottleneck router-link ids are handed
+  //    out in increasing order above, so a vector indexed by id replaces
+  //    the historical ordered map (cells emitted in the same ascending-id
+  //    order; slots of purely dedicated ids stay empty and are skipped).
+  std::vector<std::vector<graph::LinkId>> groups(next_router_link);
   for (graph::LinkId e = 0; e < out.graph.link_count(); ++e) {
     groups[out.underlying[e][0]].push_back(e);
   }
-  for (auto& [shared_id, members] : groups) {
-    out.partition.push_back(std::move(members));
+  for (std::vector<graph::LinkId>& members : groups) {
+    if (!members.empty()) out.partition.push_back(std::move(members));
   }
 
   std::ostringstream desc;

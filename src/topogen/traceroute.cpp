@@ -23,6 +23,12 @@ graph::MeasuredSystem parse_traceroutes(std::istream& is) {
 
   while (std::getline(is, line)) {
     ++line_no;
+    // Dumps written on Windows (or fetched through HTTP) arrive with CRLF
+    // endings; getline leaves the '\r' on the line. Strip it — and any
+    // other trailing whitespace — so the last token of a line never grows
+    // a phantom control character.
+    const auto last = line.find_last_not_of(" \t\r\f\v");
+    line.erase(last == std::string::npos ? 0 : last + 1);
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream ls(line);
@@ -33,9 +39,11 @@ graph::MeasuredSystem parse_traceroutes(std::istream& is) {
       std::string hop;
       while (ls >> hop) hops.push_back(hop);
       if (hops.size() < 2) fail("trace needs at least two hops");
-      std::set<std::string> unique(hops.begin(), hops.end());
-      if (unique.size() != hops.size()) {
-        fail("trace revisits a hop (routing loop)");
+      std::set<std::string> unique;
+      for (const std::string& h : hops) {
+        if (!unique.insert(h).second) {
+          fail("trace revisits hop '" + h + "' (routing loop)");
+        }
       }
       if (seen_traces.insert(hops).second) {
         traces.push_back(std::move(hops));

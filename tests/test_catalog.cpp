@@ -150,6 +150,60 @@ TEST(Catalog, AtThrowsListingKnownNames) {
   EXPECT_NE(ScenarioCatalog::instance().find("brite-high"), nullptr);
 }
 
+TEST(Catalog, AtSuggestsNearMisses) {
+  // One-character typo: suggested by edit distance.
+  try {
+    ScenarioCatalog::instance().at("brite-hgih");
+    FAIL() << "unknown name must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("brite-high"), std::string::npos) << what;
+  }
+  // Prefix fragment: suggested by substring containment.
+  try {
+    ScenarioCatalog::instance().at("hier");
+    FAIL() << "unknown name must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("hier-2k"), std::string::npos) << what;
+    EXPECT_NE(what.find("hier-10k"), std::string::npos) << what;
+  }
+}
+
+TEST(Catalog, SuggestionHelperRanksAndFilters) {
+  const std::vector<std::string> known = {"brite-high", "brite-loose",
+                                          "waxman-full"};
+  const auto close = scenario_suggestions("brite-hihg", known);
+  ASSERT_FALSE(close.empty());
+  EXPECT_EQ(close.front(), "brite-high");
+  EXPECT_TRUE(scenario_suggestions("zzzzzz", known).empty());
+  EXPECT_TRUE(scenario_suggestions("", known).empty());
+}
+
+TEST(Catalog, RegistrationRejectsDuplicateNames) {
+  ScenarioCatalog catalog;
+  CatalogEntry entry;
+  entry.name = "dup";
+  entry.figure = "f";
+  entry.summary = "s";
+  catalog.add_entry(entry);
+  EXPECT_EQ(catalog.entries().size(), 1u);
+  EXPECT_THROW(catalog.add_entry(entry), Error);
+  try {
+    catalog.add_entry(entry);
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("dup"), std::string::npos);
+  }
+  EXPECT_EQ(catalog.entries().size(), 1u) << "failed add must not insert";
+  // A different name is still accepted.
+  entry.name = "dup-2";
+  catalog.add_entry(entry);
+  EXPECT_EQ(catalog.entries().size(), 2u);
+}
+
 TEST(Catalog, BurstLengthPreservesStationaryMarginals) {
   // The Gilbert chain only changes temporal correlation; the per-snapshot
   // marginal law — and hence true_marginals — must match the memoryless

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -384,6 +386,77 @@ TEST(Serve, MaxWindowsStopsEarlyAndStillJoinsTheProducer) {
       serve(input, output, sys.graph, sys.paths, sys.sets, options);
   EXPECT_EQ(report.windows, 3u);
   EXPECT_EQ(report.snapshots, 150u);
+}
+
+/// Tail-mode truncation: when the tailed file shrinks under the daemon
+/// (logrotate copytruncate, a recorder restarting and rewriting in
+/// place), the producer's offset points into bytes that no longer exist.
+/// It must notice via the input_size probe, reopen from the start, and
+/// ingest the new contents — not tail a stale offset forever.
+TEST(Serve, TailReopensWhenTheInputFileShrinks) {
+  auto sys = tomo::testing::figure_1a();
+  auto model = tomo::testing::figure_1a_model(sys.sets);
+  sim::SimulatorConfig config;
+  config.snapshots = 200;
+  config.seed = 36;
+  const sim::SimulationResult result =
+      sim::simulate(sys.graph, sys.paths, *model, config);
+
+  // Phase 1: two 100-snapshot windows, no close marker — a live tail.
+  std::stringstream phase1_wire;
+  {
+    ObsStreamWriter writer(phase1_wire, result.measurement.path_count);
+    for (const sim::MeasurementBlock& w :
+         split_windows(result.measurement, 100)) {
+      writer.write_window(w);
+    }
+  }
+  // Phase 2: the recorder restarted — one 50-snapshot window, then close.
+  std::stringstream phase2_wire;
+  {
+    ObsStreamWriter writer(phase2_wire, result.measurement.path_count);
+    writer.write_window(result.measurement.slice(0, 50));
+    writer.close();
+  }
+  const std::string phase1 = phase1_wire.str();
+  const std::string phase2 = phase2_wire.str();
+  ASSERT_LT(phase2.size(), phase1.size())
+      << "phase 2 must be a shrink, not an append";
+
+  const std::string path = ::testing::TempDir() + "serve_truncation.obs";
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << phase1;
+  }
+  std::ifstream input(path, std::ios::binary);
+  ASSERT_TRUE(input.is_open());
+
+  // The probe doubles as the test's actor (it runs on the producer
+  // thread, so this stays single-threaded): the first poll records the
+  // phase-1 baseline, the second rewrites the file in place and reports
+  // the shrunken size.
+  std::size_t polls = 0;
+  ServeOptions options;
+  options.poll_ms = 1;
+  options.input_size = [&]() -> long long {
+    ++polls;
+    if (polls == 2) {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os << phase2;
+    }
+    return static_cast<long long>(std::filesystem::file_size(path));
+  };
+
+  std::stringstream output;
+  const ServeReport report =
+      serve(input, output, sys.graph, sys.paths, sys.sets, options);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(report.truncations, 1u);
+  // Both phase-1 windows and the reopened phase-2 window were ingested.
+  EXPECT_EQ(report.windows, 3u);
+  EXPECT_EQ(report.snapshots, 250u);
+  EXPECT_GE(polls, 2u);
 }
 
 }  // namespace

@@ -337,5 +337,43 @@ TEST(Traceroute, RejectsLoopsAndConflicts) {
   EXPECT_THROW(parse_traceroutes(empty), Error);
 }
 
+TEST(Traceroute, LoopRejectionNamesTheOffendingHop) {
+  std::stringstream loop("trace r1 r2 r3 r2 h1\n");
+  try {
+    parse_traceroutes(loop);
+    FAIL() << "routing loop must be rejected";
+  } catch (const Error& e) {
+    // The diagnostic must point at the revisited token, not just say
+    // "a hop" — loops in real dumps are found by grepping for the router.
+    EXPECT_NE(std::string(e.what()).find("'r2'"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Traceroute, StripsCarriageReturnsAndTrailingWhitespace) {
+  // A CRLF dump: without stripping, the last hop of each trace and the AS
+  // number would grow a phantom '\r' and 'h2\r' != 'h2' would split the
+  // node, orphaning the asn mapping.
+  std::stringstream crlf(
+      "trace h1 r1 h2\r\n"
+      "trace h2 r1 h1   \r\n"
+      "asn r1 100\r\n");
+  const graph::MeasuredSystem sys = parse_traceroutes(crlf);
+  EXPECT_EQ(sys.paths.size(), 2u);
+  EXPECT_EQ(sys.graph.node_count(), 3u) << "'h2\\r' must not split 'h2'";
+  std::stringstream clean(
+      "trace h1 r1 h2\n"
+      "trace h2 r1 h1\n"
+      "asn r1 100\n");
+  const graph::MeasuredSystem ref = parse_traceroutes(clean);
+  EXPECT_EQ(sys.graph.link_count(), ref.graph.link_count());
+  EXPECT_EQ(sys.partition, ref.partition);
+  // Whitespace-only and '\r'-only lines are blank, not unknown tags.
+  std::stringstream blanks("trace a b\n\r\n   \t\r\n");
+  EXPECT_EQ(parse_traceroutes(blanks).paths.size(), 1u);
+}
+
 }  // namespace
 }  // namespace tomo::topogen

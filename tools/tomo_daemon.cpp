@@ -26,6 +26,7 @@
 // --poll-ms 200; each window's estimate prints the moment it lands.
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -248,6 +249,14 @@ int cmd_serve(int argc, const char* const* argv) {
   if (input != "-") {
     file.open(input);
     TOMO_REQUIRE(file.good(), "cannot open " + input);
+    // Tailing a real file: let the producer notice in-place truncation
+    // (logrotate copytruncate, a recorder restarting) and replay from the
+    // start instead of tailing a stale offset.
+    options.input_size = [input]() -> long long {
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(input, ec);
+      return ec ? -1 : static_cast<long long>(size);
+    };
   }
   std::istream& is = input == "-" ? std::cin : file;
 
@@ -258,6 +267,10 @@ int cmd_serve(int argc, const char* const* argv) {
                  "tomo_daemon: output closed by consumer after %zu "
                  "windows; stopping\n",
                  report.windows);
+  }
+  if (report.truncations > 0) {
+    std::fprintf(stderr, "tomo_daemon: input reopened %zu time(s)\n",
+                 report.truncations);
   }
   std::fprintf(stderr,
                "served %zu windows (%zu usable, %zu snapshots): "

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/sharded_inference.hpp"
 #include "metrics/error_metrics.hpp"
 #include "util/stats.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -125,6 +127,99 @@ ScenarioScore run_entry(bench::Run& run, const core::CatalogEntry& entry,
   return total;
 }
 
+struct ShardedScore {
+  std::size_t links = 0, paths = 0, sets = 0;
+  std::size_t shards = 0, shared_links = 0;
+  std::size_t averaged = 0, resolved = 0, joint_solves = 0, failed = 0;
+  double mean_err = 0.0, p90_err = 0.0;
+  /// Wall seconds (simulation / per-shard + joint solves); JSON-only.
+  double sim_seconds = 0.0, solve_seconds = 0.0;
+};
+
+/// One catalog entry through the sharded pipeline (build → simulate →
+/// infer_sharded → error summary vs ground truth). Same trial/seed
+/// convention as run_entry, so the topology and observations of trial t
+/// match the monolithic run's trial t exactly.
+ShardedScore run_sharded_entry(bench::Run& run,
+                               const core::CatalogEntry& entry,
+                               std::uint64_t tag,
+                               std::size_t max_shard_paths) {
+  const bench::Settings& s = run.settings();
+  const core::TrialSpec spec = bench::resolve_trial_spec(s, entry, tag);
+  const auto outcomes = run.trials([&](const core::TrialContext& ctx) {
+    const auto inst = core::build_scenario(spec.scenario_for(ctx));
+    const core::ExperimentConfig config = spec.experiment_for(ctx);
+    const graph::CoverageIndex coverage(inst.graph, inst.paths);
+
+    const Stopwatch sim_timer;
+    sim::SimulationResult sim_result =
+        sim::simulate(inst.graph, inst.paths, *inst.truth, config.sim);
+    const sim::MeasurementBlock block = std::move(sim_result.measurement);
+
+    ShardedScore score;
+    score.sim_seconds = sim_timer.seconds();
+    score.links = inst.graph.link_count();
+    score.paths = inst.paths.size();
+    score.sets = inst.declared_sets.set_count();
+
+    core::ShardedOptions options;
+    options.max_shard_paths = max_shard_paths;
+    // Mirrors apply_trial_settings: with one trial the trial pool idles,
+    // so --jobs fans the shards instead (bit-identical either way).
+    options.jobs = s.trials == 1 ? s.jobs : 1;
+    options.seed = ctx.seed(tag + 0x5d);
+    options.inference = config.inference;
+    const core::ShardedInferenceResult result = core::infer_sharded(
+        inst.graph, inst.paths, coverage, inst.declared_sets, block, options);
+
+    score.shards = result.plan.shards.size();
+    score.shared_links = result.plan.shared_links;
+    score.averaged = result.averaged_links;
+    score.resolved = result.resolved_links;
+    score.joint_solves = result.joint_solves;
+    for (const core::ShardTelemetry& shard : result.shards) {
+      score.failed += shard.failed ? 1 : 0;
+    }
+    score.solve_seconds = result.solve_seconds;
+
+    const sim::EmpiricalMeasurement measurement(block);
+    const std::vector<double> errors = metrics::absolute_errors(
+        inst.true_marginals, result.congestion_prob,
+        core::potentially_congested_links(inst.paths, measurement));
+    score.mean_err = mean(errors);
+    score.p90_err = percentile(errors, 90.0);
+    return score;
+  });
+  ShardedScore total;
+  if (outcomes.empty()) return total;  // --trials 0
+  // Shape and shard structure from trial 0, errors/timings averaged.
+  total = outcomes.front().value;
+  total.mean_err = total.p90_err = 0.0;
+  total.sim_seconds = total.solve_seconds = 0.0;
+  const double trials = static_cast<double>(outcomes.size());
+  util::Json shard_details = util::Json::array();
+  for (const auto& outcome : outcomes) {
+    total.mean_err += outcome.value.mean_err / trials;
+    total.p90_err += outcome.value.p90_err / trials;
+    total.sim_seconds += outcome.value.sim_seconds / trials;
+    total.solve_seconds += outcome.value.solve_seconds / trials;
+  }
+  run.metric(entry.name + "_sharded_mean_err", total.mean_err);
+  run.metric(entry.name + "_sharded_solve_seconds", total.solve_seconds);
+  run.metric(entry.name + "_sharded_sim_seconds", total.sim_seconds);
+  run.annotation(
+      entry.name + "_sharded_plan",
+      util::Json::object()
+          .set("max_shard_paths", max_shard_paths)
+          .set("shards", total.shards)
+          .set("shared_links", total.shared_links)
+          .set("averaged_links", total.averaged)
+          .set("resolved_links", total.resolved)
+          .set("joint_solves", total.joint_solves)
+          .set("failed_shards", total.failed));
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,6 +229,12 @@ int main(int argc, char** argv) {
   flags.add_bool("list", false,
                  "print the catalogue and exit (default with no --scenario)");
   flags.add_bool("all", false, "run every registry scenario");
+  flags.add_bool("sharded", false,
+                 "run through core::infer_sharded (vantage-cluster shards "
+                 "+ reconciliation) instead of the monolithic pipeline");
+  flags.add_int("max-shard-paths", 400,
+                "--sharded: target paths per shard (0 = unbounded "
+                "link-disjoint components)");
   if (!flags.parse(argc, argv)) return 0;
   const bench::Settings s = bench::settings_from_flags(flags);
   bench::Run run("tomo_scenarios", s);
@@ -154,6 +255,34 @@ int main(int argc, char** argv) {
     }
   } else {
     selected.push_back(&core::ScenarioCatalog::instance().at(s.scenario));
+  }
+
+  if (flags.get_bool("sharded")) {
+    const std::size_t max_shard_paths =
+        static_cast<std::size_t>(flags.get_int("max-shard-paths"));
+    Table table({"scenario", "links", "paths", "shards", "shared_links",
+                 "averaged", "resolved", "sharded_mean_err",
+                 "sharded_p90_err"});
+    std::cout << "# Sharded scenario runs — " << s.trials << " trial(s) x "
+              << s.snapshots << " snapshots x " << s.packets
+              << " packets/path, max " << max_shard_paths
+              << " paths/shard\n";
+    for (const core::CatalogEntry* entry : selected) {
+      const std::uint64_t index = static_cast<std::uint64_t>(
+          entry - core::ScenarioCatalog::instance().entries().data());
+      const ShardedScore score = run_sharded_entry(
+          run, *entry, 0x5ce00 + index * 0x100, max_shard_paths);
+      table.add_row({entry->name, std::to_string(score.links),
+                     std::to_string(score.paths),
+                     std::to_string(score.shards),
+                     std::to_string(score.shared_links),
+                     std::to_string(score.averaged),
+                     std::to_string(score.resolved),
+                     Table::fmt(score.mean_err), Table::fmt(score.p90_err)});
+    }
+    run.table("sharded scenario scores", table);
+    run.finish();
+    return 0;
   }
 
   Table table({"scenario", "links", "paths", "sets", "correlation_mean_err",
