@@ -15,6 +15,7 @@
 #include "core/run_trials.hpp"
 #include "core/scenario_catalog.hpp"
 #include "core/trial_spec.hpp"
+#include "util/bitops.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
@@ -318,8 +319,9 @@ class Run {
     doc.set("name", name_)
         // 2: added the scenario descriptor; 3: annotations object
         // (per-trial solver detail) + *_solve_seconds metrics; 4: sim_mode
-        // setting + *_sim_seconds metrics.
-        .set("schema_version", 4)
+        // setting + *_sim_seconds metrics; 5: bitops_kernel setting +
+        // *_resample_seconds metrics.
+        .set("schema_version", 5)
         .set("settings", util::Json::object()
                              .set("full", settings_.full)
                              .set("csv", settings_.csv)
@@ -331,7 +333,12 @@ class Run {
                                   util::resolve_jobs(settings_.jobs))
                              .set("seed", settings_.seed)
                              .set("scenario", settings_.scenario)
-                             .set("sim_mode", settings_.sim_mode))
+                             .set("sim_mode", settings_.sim_mode)
+                             // Telemetry for cross-run comparison: which
+                             // bit-kernel table the run dispatched to
+                             // (JSON only — never printed to stdout).
+                             .set("bitops_kernel",
+                                  std::string(util::bitops::active().name)))
         .set("scenario", scenario_descriptor())
         .set("trials_run", trial_seconds_.size())
         .set("trial_seconds", util::Json::array_of(trial_seconds_))

@@ -215,13 +215,17 @@ void scenario_bootstrap(bench::Run& run, const bench::Settings& s,
 
   if (batched) {
     run.metric("bootstrap_batched_seconds", batched_seconds)
+        .metric("bootstrap_batched_resample_seconds",
+                batched->resample_seconds)
         .metric("bootstrap_skipped",
                 static_cast<double>(batched->skipped))
         .metric("bootstrap_reharvested",
                 static_cast<double>(batched->reharvested));
   }
   if (reference) {
-    run.metric("bootstrap_reference_seconds", reference_seconds);
+    run.metric("bootstrap_reference_seconds", reference_seconds)
+        .metric("bootstrap_reference_resample_seconds",
+                reference->resample_seconds);
   }
   if (batched && reference) {
     run.metric("bootstrap_speedup",

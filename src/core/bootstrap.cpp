@@ -6,6 +6,7 @@
 
 #include "sim/estimator.hpp"
 #include "util/stats.hpp"
+#include "util/stopwatch.hpp"
 
 namespace tomo::core {
 namespace {
@@ -31,11 +32,17 @@ Rng replicate_rng(std::uint64_t seed, std::size_t replicate) {
 }
 
 std::vector<std::uint32_t> draw_picks(std::size_t snapshot_count, Rng& rng) {
-  std::vector<std::uint32_t> picks(snapshot_count);
+  std::vector<std::uint32_t> picks;
+  draw_picks_into(snapshot_count, rng, picks);
+  return picks;
+}
+
+void draw_picks_into(std::size_t snapshot_count, Rng& rng,
+                     std::vector<std::uint32_t>& picks) {
+  picks.resize(snapshot_count);
   for (std::size_t i = 0; i < snapshot_count; ++i) {
     picks[i] = static_cast<std::uint32_t>(rng.below(snapshot_count));
   }
-  return picks;
 }
 
 sim::PathObservations resample_snapshots(const sim::PathObservations& obs,
@@ -116,8 +123,10 @@ BootstrapResult bootstrap_congestion(const graph::Graph& g,
     const sim::PathObservations obs = block.to_observations();
     for (std::size_t r = 0; r < options.replicates; ++r) {
       Rng rng = replicate_rng(options.seed, r);
+      Stopwatch resample_watch;
       const sim::PathObservations replicate = resample_snapshots(obs, rng);
       const sim::EmpiricalMeasurement measurement(replicate);
+      result.resample_seconds += resample_watch.seconds();
       try {
         estimates[r] = infer_congestion(g, paths, coverage, sets,
                                         measurement, options.inference)
@@ -174,10 +183,16 @@ BootstrapResult bootstrap_congestion(const graph::Graph& g,
     }
 
     const auto run_replicate = [&](std::size_t r, linalg::GramSystem& scratch,
-                                   std::vector<double>& ys) {
+                                   std::vector<double>& ys,
+                                   sim::ResampleScratch& resample_scratch,
+                                   std::vector<std::uint32_t>& picks,
+                                   double& resample_seconds) {
       Rng rng = replicate_rng(options.seed, r);
-      const std::vector<std::uint32_t> picks = draw_picks(n, rng);
-      const sim::EmpiricalMeasurement measurement(block.resample(picks));
+      draw_picks_into(n, rng, picks);
+      Stopwatch resample_watch;
+      const sim::EmpiricalMeasurement measurement(
+          block.resample(picks, resample_scratch));
+      resample_seconds += resample_watch.seconds();
       if (support_reusable) {
         bool supports_hold = true;
         // Intermediate demotion rounds first: if any of their equations
@@ -240,28 +255,42 @@ BootstrapResult bootstrap_congestion(const graph::Graph& g,
       }
     };
 
-    const auto run_stripe = [&](std::size_t first, std::size_t stride) {
+    const auto run_stripe = [&](std::size_t first, std::size_t stride,
+                                double& resample_seconds) {
       // One skeleton copy per worker: refresh_gram_rhs rewrites only the
-      // rhs products in place, so G is shared by the whole stripe.
+      // rhs products in place, so G is shared by the whole stripe. The
+      // resample scratch and pick buffer are likewise hoisted here — the
+      // source transpose is built once per worker and every replicate in
+      // the stripe reuses the same gather buffer, allocation-free after
+      // the first replicate.
       linalg::GramSystem scratch = skeleton;
       std::vector<double> ys(harvest.system.equations.size());
+      sim::ResampleScratch resample_scratch;
+      std::vector<std::uint32_t> picks;
       for (std::size_t r = first; r < options.replicates; r += stride) {
-        run_replicate(r, scratch, ys);
+        run_replicate(r, scratch, ys, resample_scratch, picks,
+                      resample_seconds);
       }
     };
 
     const std::size_t workers =
         std::min(util::resolve_jobs(options.jobs), options.replicates);
+    std::vector<double> stripe_resample_seconds(std::max<std::size_t>(
+        workers, 1));
     if (workers <= 1) {
-      run_stripe(0, 1);
+      run_stripe(0, 1, stripe_resample_seconds[0]);
     } else {
       util::ThreadPool pool(workers);
       std::vector<std::future<void>> done;
       done.reserve(workers);
       for (std::size_t w = 0; w < workers; ++w) {
-        done.push_back(pool.submit([&, w] { run_stripe(w, workers); }));
+        done.push_back(pool.submit(
+            [&, w] { run_stripe(w, workers, stripe_resample_seconds[w]); }));
       }
       for (auto& f : done) f.get();
+    }
+    for (const double s : stripe_resample_seconds) {
+      result.resample_seconds += s;
     }
   }
 

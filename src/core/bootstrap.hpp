@@ -83,6 +83,12 @@ struct BootstrapResult {
   /// could not be proven stable), forcing a full re-harvest instead of
   /// the Gram-skeleton fast path. Includes the skipped ones.
   std::size_t reharvested = 0;
+  /// Wall-clock seconds spent materializing replicate measurements
+  /// (MeasurementBlock::resample for the batched engine,
+  /// resample_snapshots for the reference engine), summed across workers —
+  /// on a multi-worker run this exceeds the elapsed resample time.
+  /// Telemetry only (reported in BENCH_*.json); never printed to stdout.
+  double resample_seconds = 0.0;
 };
 
 /// Resamples snapshots of `obs` with replacement (same count). The scalar
@@ -101,6 +107,11 @@ Rng replicate_rng(std::uint64_t seed, std::size_t replicate);
 /// Draws `snapshot_count` resample picks (with replacement, each below
 /// `snapshot_count`) — the same stream resample_snapshots consumes.
 std::vector<std::uint32_t> draw_picks(std::size_t snapshot_count, Rng& rng);
+
+/// draw_picks into a caller-owned buffer (resized to `snapshot_count`):
+/// replicate loops reuse one buffer instead of allocating per replicate.
+void draw_picks_into(std::size_t snapshot_count, Rng& rng,
+                     std::vector<std::uint32_t>& picks);
 
 /// Full-pipeline bootstrap of the correlation algorithm. The block
 /// overload is the native one; the observation overload packs once and

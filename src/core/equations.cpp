@@ -8,6 +8,7 @@
 
 #include "linalg/rank_tracker.hpp"
 #include "sim/estimator.hpp"
+#include "util/bitops.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -105,13 +106,8 @@ class SetSignatures {
 
   /// Number of correlation sets touched by both paths.
   std::size_t shared_sets(graph::PathId p, graph::PathId q) const {
-    const std::uint64_t* a = bits_.data() + p * words_;
-    const std::uint64_t* b = bits_.data() + q * words_;
-    std::size_t shared = 0;
-    for (std::size_t w = 0; w < words_; ++w) {
-      shared += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
-    }
-    return shared;
+    return util::bitops::active().and_popcount(
+        bits_.data() + p * words_, bits_.data() + q * words_, words_);
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "util/bitops.hpp"
 #include "util/error.hpp"
 
 namespace tomo::sim {
@@ -48,16 +49,21 @@ double EmpiricalMeasurement::all_good_prob(
     return static_cast<double>(scalar_obs_->all_good_count(ids)) /
            static_cast<double>(scalar_obs_->snapshot_count());
   }
-  const std::size_t words = block_.words_per_path();
-  std::size_t all = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    std::uint64_t acc = block_.good_row(paths[0])[w];
-    for (std::size_t i = 1; i < paths.size(); ++i) {
-      TOMO_REQUIRE(paths[i] < block_.path_count, "path id out of range");
-      acc &= block_.good_row(paths[i])[w];
-    }
-    all += static_cast<std::size_t>(std::popcount(acc));
+  // Multi-way AND+popcount through the kernel table; the row pointers
+  // live on the stack for the typical small path sets.
+  const std::uint64_t* stack_rows[16];
+  std::vector<const std::uint64_t*> heap_rows;
+  const std::uint64_t** rows = stack_rows;
+  if (paths.size() > 16) {
+    heap_rows.resize(paths.size());
+    rows = heap_rows.data();
   }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    TOMO_REQUIRE(paths[i] < block_.path_count, "path id out of range");
+    rows[i] = block_.good_row(paths[i]);
+  }
+  const std::size_t all = util::bitops::active().and_popcount_multi(
+      rows, paths.size(), block_.words_per_path());
   return static_cast<double>(all) /
          static_cast<double>(block_.snapshot_count);
 }
@@ -73,13 +79,8 @@ double EmpiricalMeasurement::pair_good_prob(PathId a, PathId b) const {
     return static_cast<double>(scalar_obs_->both_good_count(a, b)) /
            static_cast<double>(scalar_obs_->snapshot_count());
   }
-  const std::uint64_t* ra = block_.good_row(a);
-  const std::uint64_t* rb = block_.good_row(b);
-  const std::size_t words = block_.words_per_path();
-  std::size_t both = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    both += static_cast<std::size_t>(std::popcount(ra[w] & rb[w]));
-  }
+  const std::size_t both = util::bitops::active().and_popcount(
+      block_.good_row(a), block_.good_row(b), block_.words_per_path());
   return static_cast<double>(both) /
          static_cast<double>(block_.snapshot_count);
 }

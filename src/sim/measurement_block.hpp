@@ -20,6 +20,21 @@
 
 namespace tomo::sim {
 
+/// Reusable scratch for MeasurementBlock::resample. Holds the
+/// snapshot-major bit transpose of the source block — rebuilt only when
+/// the source changes, so a bootstrap replicate loop pays the transpose
+/// once — plus the snapshot-major gather buffer, so repeat calls allocate
+/// nothing after warm-up. A scratch may be reused across source blocks
+/// (it re-keys on the source's data pointer and shape) but must not be
+/// shared across threads.
+struct ResampleScratch {
+  std::vector<std::uint64_t> snap_major;  // cached source transpose
+  std::vector<std::uint64_t> gathered;    // per-call snapshot-major output
+  const std::uint64_t* cached_src = nullptr;
+  std::size_t cached_paths = 0;
+  std::size_t cached_snapshots = 0;
+};
+
 struct MeasurementBlock {
   std::size_t path_count = 0;
   std::size_t snapshot_count = 0;
@@ -71,9 +86,17 @@ struct MeasurementBlock {
 
   /// Bootstrap resample: snapshot i of the result is snapshot picks[i] of
   /// this block (picks drawn with replacement; every pick < snapshot_count).
-  /// The word/shift of each pick is computed once and shared by every
-  /// path's gather, so the whole resample is a packed-word operation — the
-  /// bootstrap never goes through per-bit PathObservations writes.
+  /// Runs bit-transposed: the block is transposed once into snapshot-major
+  /// 64x64 tiles (cached in `scratch` across replicates), each pick then
+  /// gathers a whole word row instead of one bit per path, and the result
+  /// transposes back to path-major — every step a util::bitops kernel, so
+  /// the bootstrap never goes through per-bit PathObservations writes and
+  /// the output is bitwise identical across the scalar and SIMD tables.
+  MeasurementBlock resample(std::span<const std::uint32_t> picks,
+                            ResampleScratch& scratch) const;
+
+  /// Convenience overload owning a throwaway scratch (one-off resamples;
+  /// replicate loops should hoist a ResampleScratch instead).
   MeasurementBlock resample(std::span<const std::uint32_t> picks) const;
 
   /// Exact complement conversions (tail handling included).

@@ -1,0 +1,82 @@
+// Perf-regression smoke for the bit-transposed bootstrap resample (ctest
+// label: "perf").
+//
+// Resamples a registry-realistic block (waxman-full scale: hundreds of
+// paths x 2000 snapshots) 200 times through one hoisted ResampleScratch
+// and times the loop against a committed wall-clock budget. The budget is
+// generous — CI containers are noisy and the same constant must hold
+// across Debug/Release — so this is a tripwire against *gross*
+// regressions: reintroducing the per-bit gather (~paths x snapshots bit
+// extractions per replicate) or dropping the scratch's cached transpose
+// lands well outside it. Bit-exactness of the rewritten resample is
+// enforced by the differential suite (test_bitops.cpp); the
+// scalar-vs-SIMD kernel cost split is tracked by BENCH_micro_bitops.json.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <vector>
+
+#include "sim/measurement_block.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tomo::sim {
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TOMO_PERF_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TOMO_PERF_SANITIZED 1
+#endif
+#endif
+
+#ifdef TOMO_PERF_SANITIZED
+constexpr double kBudgetSeconds = 8.0;
+#else
+constexpr double kBudgetSeconds = 2.0;
+#endif
+constexpr std::size_t kPaths = 400;
+constexpr std::size_t kSnapshots = 2000;
+constexpr std::size_t kReplicates = 200;
+
+TEST(PerfBitops, ResampleStaysWithinBudgetAtPaperScale) {
+  Rng rng(0xb175);
+  MeasurementBlock block;
+  block.path_count = kPaths;
+  block.snapshot_count = kSnapshots;
+  block.good_bits.resize(kPaths * block.words_per_path());
+  for (std::uint64_t& w : block.good_bits) w = rng();
+  for (PathId p = 0; p < kPaths; ++p) {
+    block.good_row(p)[block.words_per_path() - 1] &=
+        block.word_mask(block.words_per_path() - 1);
+  }
+  block.recount();
+
+  ResampleScratch scratch;
+  std::vector<std::uint32_t> picks(kSnapshots);
+  std::size_t checksum = 0;
+  const Stopwatch timer;
+  for (std::size_t r = 0; r < kReplicates; ++r) {
+    for (std::uint32_t& pick : picks) {
+      pick = static_cast<std::uint32_t>(rng.below(kSnapshots));
+    }
+    const MeasurementBlock replicate = block.resample(picks, scratch);
+    checksum += replicate.good_counts[r % kPaths];
+  }
+  const double seconds = timer.seconds();
+
+  EXPECT_GT(checksum, 0u);
+  EXPECT_LT(seconds, kBudgetSeconds)
+      << "bit-transposed resample regressed: " << seconds << " s for "
+      << kReplicates << " replicates at " << kPaths << " paths x "
+      << kSnapshots << " snapshots (budget " << kBudgetSeconds << " s)";
+  // Telemetry for the CI log; not an assertion.
+  std::cout << "[perf] resample (" << util::bitops::active().name
+            << " kernels): " << seconds << " s / " << kReplicates
+            << " replicates\n";
+}
+
+}  // namespace
+}  // namespace tomo::sim

@@ -43,6 +43,7 @@
 #include "sim/simulator.hpp"
 #include "stream/obs_stream.hpp"
 #include "stream/serve.hpp"
+#include "util/bitops.hpp"
 #include "stream/streaming_inference.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
@@ -272,15 +273,18 @@ int cmd_serve(int argc, const char* const* argv) {
     std::fprintf(stderr, "tomo_daemon: input reopened %zu time(s)\n",
                  report.truncations);
   }
+  // Which bit-kernel table the window splices/harvests dispatched to —
+  // stderr only, so the JSON window stream on stdout stays byte-stable.
   std::fprintf(stderr,
                "served %zu windows (%zu usable, %zu snapshots): "
-               "%.1f ms/window mean, %.1f ms max\n",
+               "%.1f ms/window mean, %.1f ms max (%s bit kernels)\n",
                report.windows, report.usable_windows, report.snapshots,
                report.windows
                    ? 1e3 * report.total_seconds /
                          static_cast<double>(report.windows)
                    : 0.0,
-               1e3 * report.max_window_seconds);
+               1e3 * report.max_window_seconds,
+               tomo::util::bitops::active().name);
   return report.usable_windows > 0 ? 0 : 1;
 }
 
